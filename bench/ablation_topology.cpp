@@ -1,0 +1,69 @@
+// Ablation — diskless-workstation topology: N users on one shared client vs
+// one workstation each.
+//
+// The paper's testbed packs every simulated user onto a single SUN 3/50.
+// Its introduction, however, claims the model covers "a centralized and
+// distributed system, consisting of possible different types of machines".
+// This bench exercises that claim: the same population on (a) one shared
+// client and (b) one client per user, both against the same server and
+// Ethernet — the late-80s diskless-workstation sizing question.
+
+#include <iostream>
+
+#include "common/experiment.h"
+#include "fsmodel/nfs_model.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace wlgen;
+
+double run_topology(std::size_t users, std::size_t clients, std::size_t sessions) {
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&simulation] { return simulation.now(); });
+  fsmodel::NfsParams params;
+  params.num_clients = clients;
+  fsmodel::NfsModel nfs(simulation, params);
+  core::FscConfig fsc_config;
+  fsc_config.num_users = users;
+  fsc_config.seed = 61 + users;
+  core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
+  const core::CreatedFileSystem manifest = fsc.create();
+  core::UsimConfig config;
+  config.num_users = users;
+  config.sessions_per_user = sessions;
+  config.client_machines = clients;
+  config.seed = 61 + users;
+  core::Population population;
+  population.groups.push_back({core::extremely_heavy_user(), 1.0});
+  population.validate_and_normalize();
+  core::UserSimulator usim(simulation, fsys, nfs, manifest, population, config);
+  usim.run();
+  return core::UsageAnalyzer(usim.log()).response_per_byte_us();
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlgen;
+  bench::print_header("Ablation — one shared workstation vs one workstation per user",
+                      "the paper's 1-client testbed vs its distributed-system claim");
+
+  util::TextTable table({"users", "shared client us/B", "client per user us/B", "speedup"});
+  for (std::size_t users : {1UL, 2UL, 4UL, 6UL}) {
+    const double shared = run_topology(users, 1, 25);
+    const double spread = run_topology(users, users, 25);
+    table.add_row({std::to_string(users), util::TextTable::num(shared, 2),
+                   util::TextTable::num(spread, 2),
+                   util::TextTable::num(shared / std::max(spread, 1e-9), 2)});
+  }
+  std::cout << table.render();
+  std::cout << "\nReading: at one user the topologies coincide (sanity).  As users grow,\n"
+               "private workstations remove the client CPU/cache contention, but the\n"
+               "shared server disk and Ethernet keep response growing — buying every\n"
+               "user a workstation does not buy back Figure 5.6's slope, it only\n"
+               "shrinks its intercept.  That residual growth is the server-bound\n"
+               "regime NFS deployments of the era actually hit.\n";
+  return 0;
+}

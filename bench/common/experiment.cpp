@@ -1,0 +1,101 @@
+#include "common/experiment.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "fsmodel/local_model.h"
+#include "fsmodel/nfs_model.h"
+#include "fsmodel/wholefile_model.h"
+#include "util/svg.h"
+
+namespace wlgen::bench {
+
+namespace {
+
+std::unique_ptr<fsmodel::FileSystemModel> make_model(ModelKind kind, sim::Simulation& sim) {
+  switch (kind) {
+    case ModelKind::nfs: return std::make_unique<fsmodel::NfsModel>(sim);
+    case ModelKind::local: return std::make_unique<fsmodel::LocalDiskModel>(sim);
+    case ModelKind::wholefile: return std::make_unique<fsmodel::WholeFileCacheModel>(sim);
+  }
+  throw std::logic_error("make_model: bad kind");
+}
+
+}  // namespace
+
+ExperimentOutput run_experiment(const ExperimentConfig& config) {
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&simulation] { return simulation.now(); });
+  auto model = make_model(config.model, simulation);
+  if (config.tune_model) config.tune_model(*model);
+
+  core::FscConfig fsc_config;
+  fsc_config.num_users = config.num_users;
+  fsc_config.seed = config.seed;
+  core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
+  const core::CreatedFileSystem manifest = fsc.create();
+
+  core::UsimConfig usim_config = config.usim;
+  usim_config.num_users = config.num_users;
+  usim_config.sessions_per_user = config.sessions_per_user;
+  usim_config.seed = config.seed;
+
+  core::Population population = config.population;
+  if (population.groups.empty()) population = core::default_population();
+
+  core::UserSimulator usim(simulation, fsys, *model, manifest, population, usim_config);
+  usim.run();
+
+  const core::UsageAnalyzer analyzer(usim.log());
+  ExperimentOutput out;
+  out.response_per_byte_us = analyzer.response_per_byte_us();
+  out.access_size = analyzer.access_size_stats();
+  out.response_us = analyzer.response_stats();
+  out.sessions = analyzer.sessions();
+  out.per_category = analyzer.per_category_usage();
+  out.per_op = analyzer.per_op_stats();
+  out.total_ops = usim.total_ops();
+  out.simulated_us = simulation.now();
+  out.model_stats = model->stats_summary();
+  out.log = usim.log();
+  return out;
+}
+
+std::vector<double> response_per_byte_sweep(const core::Population& population,
+                                            std::size_t max_users, std::size_t sessions,
+                                            std::uint64_t seed, ModelKind model) {
+  std::vector<double> out;
+  for (std::size_t users = 1; users <= max_users; ++users) {
+    ExperimentConfig config;
+    config.num_users = users;
+    config.sessions_per_user = sessions;
+    config.seed = seed + users;
+    config.model = model;
+    config.population = population;
+    config.usim.collect_log = true;
+    out.push_back(run_experiment(config).response_per_byte_us);
+  }
+  return out;
+}
+
+std::string write_artifact(const std::string& name, const std::string& content) {
+  const char* dir = std::getenv("WLGEN_OUT");
+  const std::string base = dir != nullptr ? dir : "artifacts";
+  const std::string path = base + "/" + name;
+  try {
+    util::write_text_file(path, content);
+  } catch (const std::exception&) {
+    return {};
+  }
+  return path;
+}
+
+void print_header(const std::string& artefact, const std::string& paper_summary) {
+  std::cout << "==========================================================================\n";
+  std::cout << artefact << "\n";
+  std::cout << "Paper reference: " << paper_summary << "\n";
+  std::cout << "==========================================================================\n\n";
+}
+
+}  // namespace wlgen::bench

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/fsc.h"
+#include "core/presets.h"
+#include "core/usim.h"
+#include "fs/filesystem.h"
+#include "fsmodel/model.h"
+#include "sim/simulation.h"
+
+namespace wlgen::bench {
+
+/// Which performance model an experiment runs against.
+enum class ModelKind { nfs, local, wholefile };
+
+/// One full paper-style experiment: FSC builds the file system, USIM runs the
+/// population, the analyzer digests the log.  Every bench binary goes through
+/// this harness so experiments stay comparable.
+struct ExperimentConfig {
+  std::size_t num_users = 1;
+  std::size_t sessions_per_user = 50;  ///< paper: "mean value during 50 login sessions"
+  std::uint64_t seed = 1991;
+  ModelKind model = ModelKind::nfs;
+  core::Population population;
+  core::UsimConfig usim;  ///< num_users/sessions/seed are overwritten from above
+  std::function<void(fsmodel::FileSystemModel&)> tune_model;  ///< optional
+};
+
+/// Everything a bench needs to print a paper artefact.
+struct ExperimentOutput {
+  double response_per_byte_us = 0.0;
+  stats::RunningSummary access_size;
+  stats::RunningSummary response_us;
+  std::vector<core::SessionSummary> sessions;
+  std::map<std::string, core::CategoryUsage> per_category;
+  std::map<fsmodel::FsOpType, core::OpTypeStats> per_op;
+  std::uint64_t total_ops = 0;
+  double simulated_us = 0.0;
+  std::string model_stats;
+  core::UsageLog log;  ///< full log (for figure histograms)
+};
+
+/// Runs one experiment to completion.
+ExperimentOutput run_experiment(const ExperimentConfig& config);
+
+/// The paper's Figures 5.6–5.11 sweep: response time per byte for 1..max_users
+/// simultaneous users of the given population.
+std::vector<double> response_per_byte_sweep(const core::Population& population,
+                                            std::size_t max_users, std::size_t sessions,
+                                            std::uint64_t seed = 1991,
+                                            ModelKind model = ModelKind::nfs);
+
+/// Writes an SVG artefact under $WLGEN_OUT (or ./artifacts) and returns the
+/// path, or an empty string when writing fails (benches must not die on a
+/// read-only filesystem).
+std::string write_artifact(const std::string& name, const std::string& content);
+
+/// Prints the standard bench header with the paper reference.
+void print_header(const std::string& artefact, const std::string& paper_summary);
+
+}  // namespace wlgen::bench

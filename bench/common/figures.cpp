@@ -1,0 +1,53 @@
+#include "common/figures.h"
+
+#include <iostream>
+
+#include "util/ascii_plot.h"
+#include "util/svg.h"
+
+namespace wlgen::bench {
+
+ExperimentOutput characterisation_run(std::size_t sessions) {
+  ExperimentConfig config;
+  config.num_users = 1;
+  config.sessions_per_user = sessions;
+  config.seed = 600;
+  return run_experiment(config);
+}
+
+void print_session_figure(const std::string& figure_id, const std::string& title,
+                          const stats::Histogram& histogram, const std::string& x_label) {
+  util::PlotOptions options;
+  options.width = 48;
+
+  options.title = "(a) before smoothing — " + title;
+  std::cout << util::ascii_histogram(histogram.edges(), histogram.counts(), options) << "\n";
+
+  const stats::Histogram smoothed =
+      stats::smooth_histogram(histogram, stats::SmoothingKind::moving_average, 3.0);
+  options.title = "(b) after smoothing — " + title;
+  std::cout << util::ascii_histogram(smoothed.edges(), smoothed.counts(), options) << "\n";
+
+  // SVG artefact: both curves on one chart.
+  util::SvgSeries raw, smooth;
+  raw.label = "before";
+  raw.color = "#9ecae1";
+  smooth.label = "after";
+  smooth.color = "#d62728";
+  const auto centers = histogram.centers();
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    raw.xs.push_back(centers[i]);
+    raw.ys.push_back(histogram.counts()[i]);
+    smooth.xs.push_back(centers[i]);
+    smooth.ys.push_back(smoothed.counts()[i]);
+  }
+  util::SvgOptions svg_options;
+  svg_options.title = figure_id + ": " + title;
+  svg_options.x_label = x_label;
+  svg_options.y_label = "count";
+  const std::string path =
+      write_artifact(figure_id + ".svg", util::svg_plot({raw, smooth}, svg_options));
+  if (!path.empty()) std::cout << "SVG written to " << path << "\n";
+}
+
+}  // namespace wlgen::bench

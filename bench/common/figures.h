@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/experiment.h"
+#include "stats/histogram.h"
+#include "stats/smoothing.h"
+
+namespace wlgen::bench {
+
+/// Runs the paper's 600-login-session characterisation workload (section
+/// 5.1) once; Figures 5.3–5.5 are different projections of this run.
+ExperimentOutput characterisation_run(std::size_t sessions = 600);
+
+/// Prints a Figure 5.3/5.4/5.5-style panel: the histogram before smoothing,
+/// then after moving-average smoothing, as terminal bar charts; also writes
+/// an SVG artefact when possible.
+void print_session_figure(const std::string& figure_id, const std::string& title,
+                          const stats::Histogram& histogram, const std::string& x_label);
+
+}  // namespace wlgen::bench

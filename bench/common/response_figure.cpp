@@ -1,0 +1,62 @@
+#include "common/response_figure.h"
+
+#include <iostream>
+
+#include "util/ascii_plot.h"
+#include "util/svg.h"
+#include "util/table.h"
+
+namespace wlgen::bench {
+
+void run_response_figure(const std::string& figure_id, const std::string& title,
+                         const core::Population& population, const std::string& paper_note,
+                         std::size_t sessions) {
+  print_header(figure_id + " — " + title, paper_note);
+
+  const std::vector<double> series = response_per_byte_sweep(population, 6, sessions);
+
+  util::TextTable table({"users", "response time per byte (us)"});
+  std::vector<double> xs;
+  for (std::size_t users = 1; users <= series.size(); ++users) {
+    xs.push_back(static_cast<double>(users));
+    table.add_row({std::to_string(users), util::TextTable::num(series[users - 1], 3)});
+  }
+  std::cout << table.render() << "\n";
+
+  util::PlotOptions options;
+  options.title = title;
+  options.x_label = "number of users using the computer simultaneously";
+  options.y_label = "response time per byte (us)";
+  options.height = 12;
+  std::cout << util::ascii_curve(xs, series, options) << "\n";
+
+  util::SvgSeries svg_series;
+  svg_series.xs = xs;
+  svg_series.ys = series;
+  svg_series.label = figure_id;
+  util::SvgOptions svg_options;
+  svg_options.title = figure_id + ": " + title;
+  svg_options.x_label = "users";
+  svg_options.y_label = "us per byte";
+  const std::string path =
+      write_artifact(figure_id + ".svg", util::svg_plot({svg_series}, svg_options));
+  if (!path.empty()) std::cout << "SVG written to " << path << "\n";
+
+  // Shape diagnostics: slope between successive points and linearity.
+  const double rise = series.back() - series.front();
+  std::cout << "\nShape: 1-user " << series.front() << " us/B -> 6-user " << series.back()
+            << " us/B (growth " << (series.front() > 0 ? series.back() / series.front() : 0)
+            << "x).\n";
+  if (rise > 0) {
+    double max_dev = 0.0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const double linear =
+          series.front() + rise * static_cast<double>(i) / static_cast<double>(series.size() - 1);
+      max_dev = std::max(max_dev, std::fabs(series[i] - linear));
+    }
+    std::cout << "Max deviation from the straight line through the endpoints: "
+              << util::TextTable::num(100.0 * max_dev / series.back(), 1) << "% of the 6-user value.\n";
+  }
+}
+
+}  // namespace wlgen::bench

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "common/experiment.h"
+
+namespace wlgen::bench {
+
+/// Runs and prints one of the paper's Figures 5.6–5.11: average response
+/// time per byte for 1..6 simultaneous users of the given population, as a
+/// table, a terminal curve, and an SVG artefact.  `paper_note` describes the
+/// published curve's shape for eyeball comparison.
+void run_response_figure(const std::string& figure_id, const std::string& title,
+                         const core::Population& population, const std::string& paper_note,
+                         std::size_t sessions = 50);
+
+}  // namespace wlgen::bench

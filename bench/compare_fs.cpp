@@ -1,0 +1,55 @@
+// Section 5.3 — "Comparing Different File Systems".
+//
+// Runs the paper's comparison procedure: the identical user population and
+// initial file system against each candidate file-system model (SUN-NFS,
+// local disk, Andrew-style whole-file caching), at two load points, and
+// reports per-candidate response statistics — the decision table the paper
+// says a laboratory should build before choosing a file system.
+
+#include <iostream>
+
+#include "common/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wlgen;
+  bench::print_header("Section 5.3 — file system comparison procedure",
+                      "same workload, candidate file systems, compare response per byte");
+
+  const std::vector<std::pair<std::string, bench::ModelKind>> candidates = {
+      {"SUN NFS (remote server)", bench::ModelKind::nfs},
+      {"local disk (UFS-style)", bench::ModelKind::local},
+      {"whole-file caching (Andrew-style)", bench::ModelKind::wholefile},
+  };
+
+  for (const std::size_t users : {1UL, 4UL}) {
+    std::cout << "--- " << users << " simultaneous user(s), heavy I/O population ---\n";
+    util::TextTable table({"file system", "resp/byte us", "mean resp us", "std resp us",
+                           "access size B", "sim time s"});
+    for (const auto& [name, kind] : candidates) {
+      bench::ExperimentConfig config;
+      config.num_users = users;
+      config.sessions_per_user = 40;
+      config.model = kind;
+      config.seed = 53;
+      const bench::ExperimentOutput out = bench::run_experiment(config);
+      table.add_row({name, util::TextTable::num(out.response_per_byte_us, 3),
+                     util::TextTable::num(out.response_us.mean(), 0),
+                     util::TextTable::num(out.response_us.stddev(), 0),
+                     util::TextTable::num(out.access_size.mean(), 0),
+                     util::TextTable::num(out.simulated_us / 1e6, 1)});
+    }
+    std::cout << table.render() << "\n";
+  }
+
+  std::cout << "Reading: at one user the local disk wins (no network on the path).  At\n"
+               "four users the ranking flips — the local machine has only its own 4 MB\n"
+               "buffer cache and one spindle, while the NFS server contributes a much\n"
+               "larger cache that absorbs the misses now thrashing the local cache.\n"
+               "The whole-file model pays its cost at open/close and keeps data ops\n"
+               "local, so it degrades most gently.  This is precisely the paper's point\n"
+               "(\"one file system may be better under some particular environment, and\n"
+               "others may be superior under different environments\"): the procedure\n"
+               "exposes the crossover instead of averaging it away.\n";
+  return 0;
+}

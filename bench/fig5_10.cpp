@@ -1,0 +1,14 @@
+// Figure 5.10 — average response time per byte, 20% heavy / 80% light I/O
+// users.
+
+#include "common/response_figure.h"
+#include "core/presets.h"
+
+int main() {
+  using namespace wlgen;
+  bench::run_response_figure("Figure 5.10",
+                             "response time per byte, 20% heavy / 80% light I/O users",
+                             core::mixed_population(0.2),
+                             "still close to Figures 5.7-5.9; light users barely move it");
+  return 0;
+}

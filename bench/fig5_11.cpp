@@ -1,0 +1,15 @@
+// Figure 5.11 — average response time per byte, 100% light I/O users
+// (exp(20000) us think time).  Paper: "the average response times in these
+// figures are similar; that means a 5000-microsecond think time is not much
+// different from a 20000-microsecond think time."
+
+#include "common/response_figure.h"
+#include "core/presets.h"
+
+int main() {
+  using namespace wlgen;
+  bench::run_response_figure("Figure 5.11", "response time per byte, 100% light I/O users",
+                             core::mixed_population(0.0),
+                             "similar average level to Figures 5.7-5.10 (paper section 5.2)");
+  return 0;
+}

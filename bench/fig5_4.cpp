@@ -1,0 +1,29 @@
+// Figure 5.4 — distribution of average file size (bytes) over 600 login
+// sessions, before and after smoothing.
+//
+// Paper shape: right-skewed histogram over 0..60000 bytes with the bulk
+// below ~20000.
+
+#include <iostream>
+
+#include "common/figures.h"
+
+int main() {
+  using namespace wlgen;
+  bench::print_header("Figure 5.4 — average file size (600 sessions)",
+                      "right-skewed over 0..60000 B, bulk below ~20000 B");
+  const bench::ExperimentOutput out = bench::characterisation_run();
+  const core::UsageAnalyzer analyzer(out.log);
+  const auto histogram = analyzer.session_file_size_histogram(24);
+  bench::print_session_figure("fig5_4", "average file size (bytes)", histogram, "file size (B)");
+
+  stats::RunningSummary size;
+  for (const auto& s : out.sessions) {
+    if (s.files_referenced > 0) size.add(s.mean_file_size);
+  }
+  std::cout << "\nSessions: " << out.sessions.size()
+            << "   mean session file size mean(std): " << size.mean_std_string(0) << " B\n";
+  std::cout << "Shape check: right-skewed with a tail driven by the NOTES categories\n"
+               "(mean sizes 31347/18771 B in Table 5.1).\n";
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 5.6 — average response time per byte, all users *extremely heavy*
+// (zero think time).  Paper: "the response time has a linear relation to the
+// number of users ... because all the users compete for resources all the
+// time"; the curve climbs to ~10-15 us/byte at 6 users.
+
+#include "common/response_figure.h"
+#include "core/presets.h"
+
+int main() {
+  using namespace wlgen;
+  core::Population population;
+  population.groups.push_back({core::extremely_heavy_user(), 1.0});
+  population.validate_and_normalize();
+  bench::run_response_figure(
+      "Figure 5.6", "response time per byte, 100% extremely heavy I/O users", population,
+      "near-linear growth, steepest of Figs 5.6-5.11 (saturated server)");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 5.7 — average response time per byte, 100% heavy I/O users
+// (exp(5000) us think time).  Paper: shallow growth, ~1-3 us/byte, much
+// flatter than Figure 5.6.
+
+#include "common/response_figure.h"
+#include "core/presets.h"
+
+int main() {
+  using namespace wlgen;
+  bench::run_response_figure("Figure 5.7", "response time per byte, 100% heavy I/O users",
+                             core::mixed_population(1.0),
+                             "flat-ish 1-3 us/byte; slope far below Figure 5.6");
+  return 0;
+}

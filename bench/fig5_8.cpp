@@ -1,0 +1,15 @@
+// Figure 5.8 — average response time per byte, 80% heavy / 20% light I/O
+// users.  Paper: similar level to Figure 5.7 (the 5000 vs 20000 us think
+// times barely separate given the response-time variance).
+
+#include "common/response_figure.h"
+#include "core/presets.h"
+
+int main() {
+  using namespace wlgen;
+  bench::run_response_figure("Figure 5.8",
+                             "response time per byte, 80% heavy / 20% light I/O users",
+                             core::mixed_population(0.8),
+                             "level and slope close to Figure 5.7");
+  return 0;
+}

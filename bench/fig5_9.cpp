@@ -1,0 +1,14 @@
+// Figure 5.9 — average response time per byte, 50% heavy / 50% light I/O
+// users.
+
+#include "common/response_figure.h"
+#include "core/presets.h"
+
+int main() {
+  using namespace wlgen;
+  bench::run_response_figure("Figure 5.9",
+                             "response time per byte, 50% heavy / 50% light I/O users",
+                             core::mixed_population(0.5),
+                             "level and slope close to Figures 5.7/5.8 (paper 5.2's point)");
+  return 0;
+}

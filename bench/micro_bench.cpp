@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark): throughput of the hot paths every
+// experiment leans on — distribution sampling, CDF-table lookup, the DES
+// event loop, resource queueing, the simulated file system, and the LRU
+// caches.
+
+#include <benchmark/benchmark.h>
+
+#include "dist/basic.h"
+#include "dist/cdf_table.h"
+#include "dist/multistage_gamma.h"
+#include "dist/phase_exponential.h"
+#include "fs/filesystem.h"
+#include "fsmodel/lru_cache.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "sim/stages.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace wlgen;
+
+void BM_SampleExponential(benchmark::State& state) {
+  dist::ExponentialDistribution d(1024.0);
+  util::RngStream rng(1, "bm");
+  for (auto _ : state) benchmark::DoNotOptimize(d.sample(rng));
+}
+BENCHMARK(BM_SampleExponential);
+
+void BM_SamplePhaseTypeExponential(benchmark::State& state) {
+  const auto d = dist::PhaseTypeExponential::paper_example_c();
+  util::RngStream rng(1, "bm");
+  for (auto _ : state) benchmark::DoNotOptimize(d.sample(rng));
+}
+BENCHMARK(BM_SamplePhaseTypeExponential);
+
+void BM_SampleMultiStageGamma(benchmark::State& state) {
+  const auto d = dist::MultiStageGamma::paper_example_c();
+  util::RngStream rng(1, "bm");
+  for (auto _ : state) benchmark::DoNotOptimize(d.sample(rng));
+}
+BENCHMARK(BM_SampleMultiStageGamma);
+
+void BM_CdfTableSample(benchmark::State& state) {
+  dist::ExponentialDistribution d(1024.0);
+  const dist::CdfTable table = dist::build_cdf_table(d, static_cast<std::size_t>(state.range(0)));
+  util::RngStream rng(1, "bm");
+  for (auto _ : state) benchmark::DoNotOptimize(table.sample(rng));
+}
+BENCHMARK(BM_CdfTableSample)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SimulationEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) sim.schedule(static_cast<double>(i), [] {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationEventLoop)->Arg(1000)->Arg(10000);
+
+void BM_ResourceQueueing(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Resource disk(sim, "disk", 1);
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) disk.use(1.0, [] {});
+    sim.run();
+    benchmark::DoNotOptimize(disk.completed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ResourceQueueing)->Arg(1000);
+
+void BM_StageChainExecution(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Resource disk(sim, "disk", 1);
+    for (int i = 0; i < 500; ++i) {
+      sim::execute_chain(sim,
+                         {sim::Stage::make_delay(1.0), sim::Stage::make_use(disk, 2.0),
+                          sim::Stage::make_delay(1.0)},
+                         [](double) {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_StageChainExecution);
+
+void BM_FsCreateWriteUnlink(benchmark::State& state) {
+  fs::SimulatedFileSystem fsys;
+  int i = 0;
+  for (auto _ : state) {
+    const std::string path = "/f" + std::to_string(i++ % 1000);
+    const auto fd = fsys.creat(path);
+    fsys.write(fd.value(), 4096);
+    fsys.close(fd.value());
+    fsys.unlink(path);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_FsCreateWriteUnlink);
+
+void BM_FsSequentialRead(benchmark::State& state) {
+  fs::SimulatedFileSystem fsys;
+  const auto fd = fsys.creat("/big");
+  fsys.write(fd.value(), 1 << 20);
+  fsys.close(fd.value());
+  const auto rd = fsys.open("/big", fs::kRead);
+  for (auto _ : state) {
+    if (fsys.read(rd.value(), 1024).value() == 0) fsys.lseek(rd.value(), 0, fs::Seek::set);
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FsSequentialRead);
+
+void BM_FsPathResolutionDeep(benchmark::State& state) {
+  fs::SimulatedFileSystem fsys;
+  std::string path;
+  for (int d = 0; d < 8; ++d) {
+    path += "/d" + std::to_string(d);
+    fsys.mkdir(path);
+  }
+  const std::string file = path + "/leaf";
+  fsys.close(fsys.creat(file).value());
+  for (auto _ : state) benchmark::DoNotOptimize(fsys.stat(file));
+}
+BENCHMARK(BM_FsPathResolutionDeep);
+
+void BM_LruCacheAccess(benchmark::State& state) {
+  fsmodel::LruCache cache(static_cast<std::size_t>(state.range(0)));
+  util::RngStream rng(1, "bm");
+  for (std::int64_t i = 0; i < state.range(0); ++i) cache.insert(static_cast<std::uint64_t>(i));
+  for (auto _ : state) {
+    const auto key = static_cast<std::uint64_t>(rng.uniform_int(0, 2 * state.range(0)));
+    if (!cache.access(key)) cache.insert(key);
+  }
+}
+BENCHMARK(BM_LruCacheAccess)->Arg(384)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Microbenchmark (google-benchmark): end-to-end USIM throughput — simulated
+// sessions and system calls per wall-clock second, the figure of merit for
+// whether the generator itself is cheap enough to drive large studies.
+
+#include <benchmark/benchmark.h>
+
+#include "core/analysis.h"
+#include "core/fsc.h"
+#include "core/presets.h"
+#include "core/usim.h"
+#include "fsmodel/nfs_model.h"
+
+namespace {
+
+using namespace wlgen;
+
+void BM_UsimSessions(benchmark::State& state) {
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  std::uint64_t ops = 0;
+  std::uint64_t sessions = 0;
+  for (auto _ : state) {
+    sim::Simulation simulation;
+    fs::SimulatedFileSystem fsys;
+    fsmodel::NfsModel nfs(simulation);
+    core::FscConfig fsc_config;
+    fsc_config.num_users = users;
+    core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
+    const core::CreatedFileSystem manifest = fsc.create();
+    core::UsimConfig config;
+    config.num_users = users;
+    config.sessions_per_user = 5;
+    config.collect_log = false;  // measure the simulator, not the log
+    core::UserSimulator usim(simulation, fsys, nfs, manifest, core::default_population(),
+                             config);
+    usim.run();
+    ops += usim.total_ops();
+    sessions += usim.sessions_completed();
+  }
+  state.counters["syscalls/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+  state.counters["sessions/s"] =
+      benchmark::Counter(static_cast<double>(sessions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_UsimSessions)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

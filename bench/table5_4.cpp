@@ -1,0 +1,51 @@
+// Table 5.4 — "Types of users simulated in experiments": think times of the
+// three user types, plus each type's *effective* behaviour measured from a
+// short run (ops per simulated second and response) to show what the knob
+// does.
+
+#include <iostream>
+
+#include "common/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wlgen;
+  bench::print_header("Table 5.4 — types of users simulated in experiments",
+                      "extremely heavy I/O: 0 us; heavy: 5000 us; light: 20000 us");
+
+  struct Row {
+    const char* name;
+    double paper_think;
+    core::UserType type;
+  };
+  const std::vector<Row> rows = {
+      {"extremely heavy I/O", 0.0, core::extremely_heavy_user()},
+      {"heavy I/O", 5000.0, core::heavy_user()},
+      {"light I/O", 20000.0, core::light_user()},
+  };
+
+  util::TextTable table({"user type", "paper think time us", "preset mean us",
+                         "measured ops/sim-s", "measured mean response us"});
+  for (const auto& row : rows) {
+    core::Population population;
+    population.groups.push_back({row.type, 1.0});
+    population.validate_and_normalize();
+    bench::ExperimentConfig config;
+    config.num_users = 1;
+    config.sessions_per_user = 30;
+    config.population = population;
+    const bench::ExperimentOutput out = bench::run_experiment(config);
+    const double ops_per_s = out.simulated_us > 0.0
+                                 ? static_cast<double>(out.total_ops) / (out.simulated_us / 1e6)
+                                 : 0.0;
+    table.add_row({row.name, util::TextTable::num(row.paper_think, 0),
+                   util::TextTable::num(row.type.think_time_us->mean(), 0),
+                   util::TextTable::num(ops_per_s, 0),
+                   util::TextTable::num(out.response_us.mean(), 0)});
+  }
+  std::cout << table.render();
+  std::cout << "\nThe zero-think-time user keeps a request permanently outstanding (the\n"
+               "Figure 5.6 load); heavy and light users pace themselves with exp(5000)\n"
+               "and exp(20000) us thinking (Figures 5.7-5.11).\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// GDS example: fitting distributions to measured data.
+//
+// Simulates the workflow of the paper's Graphic Distribution Specifier:
+// take raw observations (here: synthetic "measured" file sizes with two
+// behaviour modes), fit the paper's two parametric families plus a plain
+// exponential, compare goodness-of-fit with the Kolmogorov-Smirnov test, and
+// render the winner — all without X11, as the paper's fallback mode does.
+//
+// Run:  ./fit_distributions
+
+#include <iostream>
+
+#include "core/spec.h"
+#include "dist/fitting.h"
+#include "dist/tabulated.h"
+#include "stats/tests.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wlgen;
+
+  // "Measured" data: small config files plus occasional big documents —
+  // the bimodal shape real file-size traces show.
+  util::RngStream rng(2026, "fit-example");
+  std::vector<double> sizes;
+  for (int i = 0; i < 3000; ++i) sizes.push_back(rng.exponential(900.0));
+  for (int i = 0; i < 1200; ++i) sizes.push_back(15000.0 + rng.gamma(2.0, 6000.0));
+
+  core::DistributionSpecifier gds;
+  const auto exp_fit = gds.fit("exp", sizes, core::DistributionSpecifier::Family::exponential);
+  const auto phase_fit =
+      gds.fit("phase", sizes, core::DistributionSpecifier::Family::phase_exponential, 2);
+  const auto gamma_fit =
+      gds.fit("gamma", sizes, core::DistributionSpecifier::Family::multistage_gamma, 2);
+
+  util::TextTable table({"family", "fitted mean", "data mean", "KS statistic", "KS p-value"});
+  const double data_mean = dist::sample_mean(sizes);
+  for (const auto& [name, d] : {std::pair<std::string, core::DistRef>{"exponential", exp_fit},
+                                {"phase-type exponential (2)", phase_fit},
+                                {"multi-stage gamma (2)", gamma_fit}}) {
+    const auto ks = stats::ks_test(sizes, *d);
+    table.add_row({name, util::TextTable::num(d->mean(), 0),
+                   util::TextTable::num(data_mean, 0), util::TextTable::num(ks.statistic, 4),
+                   util::TextTable::num(ks.p_value, 4)});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "Fitted phase-type spec (parseable, feed it back via load_spec_text):\n  "
+            << core::serialize_distribution(*phase_fit) << "\n\n";
+  std::cout << gds.render_ascii("phase") << "\n";
+
+  // Emit the CDF table the FSC/USIM would consume (paper Figure 4.1 arrow).
+  const auto cdf = gds.cdf_table("phase", 16);
+  std::cout << "16-point CDF table (x F):\n" << cdf.serialize() << "\n";
+  std::cout << "A single exponential cannot express the two modes (low KS p-value);\n"
+               "the mixture families can — the reason the GDS supports them.\n";
+  return 0;
+}

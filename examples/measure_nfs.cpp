@@ -1,0 +1,89 @@
+// Section 5.2 example: "Measuring the SUN NFS".
+//
+// Reproduces the paper's measurement study as a runnable application: sweep
+// the number of simultaneous users and the population mix, measure response
+// times on the simulated SUN NFS, and print the resulting load/latency
+// profile — the data behind Figures 5.6-5.11.
+//
+// Run:  ./measure_nfs [max_users] [sessions_per_user]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/analysis.h"
+#include "core/fsc.h"
+#include "core/presets.h"
+#include "core/usim.h"
+#include "fsmodel/nfs_model.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace wlgen;
+
+struct Measurement {
+  double response_per_byte = 0.0;
+  double mean_response = 0.0;
+  double disk_utilization = 0.0;
+  double client_hit_ratio = 0.0;
+};
+
+Measurement measure(const core::Population& population, std::size_t users,
+                    std::size_t sessions) {
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&simulation] { return simulation.now(); });
+  fsmodel::NfsModel nfs(simulation);
+
+  core::FscConfig fsc_config;
+  fsc_config.num_users = users;
+  core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
+  const core::CreatedFileSystem manifest = fsc.create();
+
+  core::UsimConfig config;
+  config.num_users = users;
+  config.sessions_per_user = sessions;
+  core::UserSimulator usim(simulation, fsys, nfs, manifest, population, config);
+  usim.run();
+
+  const core::UsageAnalyzer analyzer(usim.log());
+  Measurement m;
+  m.response_per_byte = analyzer.response_per_byte_us();
+  m.mean_response = analyzer.response_stats().mean();
+  m.disk_utilization = nfs.server_disk().utilization();
+  m.client_hit_ratio = nfs.client_cache().hit_ratio();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wlgen;
+  const std::size_t max_users = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+  const std::size_t sessions = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 25;
+
+  const std::vector<std::pair<std::string, core::Population>> mixes = {
+      {"100% heavy", core::mixed_population(1.0)},
+      {"50% heavy / 50% light", core::mixed_population(0.5)},
+      {"100% light", core::mixed_population(0.0)},
+  };
+
+  for (const auto& [name, population] : mixes) {
+    std::cout << "=== population: " << name << " ===\n";
+    util::TextTable table(
+        {"users", "resp/byte us", "mean resp us", "server disk util", "client hit ratio"});
+    for (std::size_t users = 1; users <= max_users; ++users) {
+      const Measurement m = measure(population, users, sessions);
+      table.add_row({std::to_string(users), util::TextTable::num(m.response_per_byte, 3),
+                     util::TextTable::num(m.mean_response, 0),
+                     util::TextTable::num(m.disk_utilization, 2),
+                     util::TextTable::num(m.client_hit_ratio, 3)});
+    }
+    std::cout << table.render() << "\n";
+  }
+  std::cout << "Interpretation (paper section 5.2): response grows with simultaneous\n"
+               "users as the shared server disk saturates; the heavy and light mixes\n"
+               "land close together because a 5 ms think time is already long relative\n"
+               "to the response-time variance.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Population-design example: the "what if the user mix changes?" question
+// the paper's user-oriented model exists to answer (sections 1 and 5.3).
+//
+// Sweeps the heavy-user share of a six-user population from 0% to 100% and
+// reports the measured NFS response profile, plus one future-work variant:
+// the same sweep with each user running two concurrent login sessions (the
+// section 6.2 "window system" extension).
+//
+// Run:  ./population_sweep [sessions]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/analysis.h"
+#include "core/fsc.h"
+#include "core/presets.h"
+#include "core/usim.h"
+#include "fsmodel/nfs_model.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace wlgen;
+
+double sweep_point(double heavy_fraction, std::size_t windows, std::size_t sessions) {
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&simulation] { return simulation.now(); });
+  fsmodel::NfsModel nfs(simulation);
+  core::FscConfig fsc_config;
+  fsc_config.num_users = 6;
+  core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
+  const core::CreatedFileSystem manifest = fsc.create();
+
+  core::UsimConfig config;
+  config.num_users = 6;
+  config.sessions_per_user = sessions;
+  config.windows_per_user = windows;
+  core::UserSimulator usim(simulation, fsys, nfs, manifest,
+                           core::mixed_population(heavy_fraction), config);
+  usim.run();
+  return core::UsageAnalyzer(usim.log()).response_per_byte_us();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wlgen;
+  const std::size_t sessions = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 15;
+
+  util::TextTable table({"heavy users", "resp/byte us (1 window)", "resp/byte us (2 windows)"});
+  for (double f : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    table.add_row({util::TextTable::num(f * 100.0, 0) + "%",
+                   util::TextTable::num(sweep_point(f, 1, sessions), 3),
+                   util::TextTable::num(sweep_point(f, 2, sessions), 3)});
+  }
+  std::cout << table.render();
+  std::cout << "\nReading: with one window per user the mix barely moves the response\n"
+               "profile (the Figures 5.7-5.11 observation).  Doubling the windows per\n"
+               "user doubles the offered load at fixed headcount — the kind of question\n"
+               "(\"what if everyone gets a window system?\") trace replay cannot answer\n"
+               "but a user-oriented generator can.\n";
+  return 0;
+}

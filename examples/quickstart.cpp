@@ -1,0 +1,65 @@
+// Quickstart: the full pipeline of the paper's generator in ~60 lines.
+//
+//   1. specify distributions  (GDS        -> core/spec.h, core/presets.h)
+//   2. create a file system   (FSC        -> core/fsc.h)
+//   3. simulate users         (USIM       -> core/usim.h)
+//   4. analyze the usage log  (Analyzer   -> core/analysis.h)
+//
+// Run:  ./quickstart [num_users] [sessions_per_user]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/analysis.h"
+#include "core/fsc.h"
+#include "core/presets.h"
+#include "core/usim.h"
+#include "fsmodel/nfs_model.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wlgen;
+
+  const std::size_t num_users = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2;
+  const std::size_t sessions = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10;
+
+  // A simulated clock, a logical file system, and the SUN-NFS-like model the
+  // paper measures (client caches + Ethernet + server CPU/disk).
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&simulation] { return simulation.now(); });
+  fsmodel::NfsModel nfs(simulation);
+
+  // FSC: build the initial file system from the paper's Table 5.1 profile.
+  core::FscConfig fsc_config;
+  fsc_config.num_users = num_users;
+  core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
+  const core::CreatedFileSystem manifest = fsc.create();
+  std::cout << "FSC created " << manifest.file_count() << " files ("
+            << fsys.bytes_in_use() / 1024 << " KiB)\n";
+
+  // USIM: the paper's default population (heavy users, exp(5000) us think
+  // time, exp(1024) B access size, Table 5.2 usage distributions).
+  core::UsimConfig usim_config;
+  usim_config.num_users = num_users;
+  usim_config.sessions_per_user = sessions;
+  core::UserSimulator usim(simulation, fsys, nfs, manifest, core::default_population(),
+                           usim_config);
+  usim.run();
+
+  // Usage Analyzer: Table 5.3-style output.
+  const core::UsageAnalyzer analyzer(usim.log());
+  const auto access = analyzer.access_size_stats();
+  const auto response = analyzer.response_stats();
+
+  util::TextTable table({"metric", "value"});
+  table.add_row({"users", std::to_string(num_users)});
+  table.add_row({"sessions completed", std::to_string(usim.sessions_completed())});
+  table.add_row({"system calls issued", std::to_string(usim.total_ops())});
+  table.add_row({"access size mean(std) B", access.mean_std_string()});
+  table.add_row({"response mean(std) us", response.mean_std_string()});
+  table.add_row({"response per byte us/B", util::TextTable::num(analyzer.response_per_byte_us(), 4)});
+  table.add_row({"simulated time s", util::TextTable::num(simulation.now() / 1e6, 2)});
+  std::cout << "\n" << table.render() << "\n" << nfs.stats_summary();
+  return 0;
+}

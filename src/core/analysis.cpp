@@ -1,0 +1,174 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+
+namespace wlgen::core {
+
+UsageAnalyzer::UsageAnalyzer(const UsageLog& log) : log_(log) {
+  struct SessionAccumulator {
+    double start = 0.0;
+    double end = 0.0;
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+    bool first = true;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, SessionAccumulator> acc;
+
+  for (const auto& r : log_.records()) {
+    ++op_count_;
+    const auto key = std::make_pair(r.user, r.session);
+    auto& a = acc[key];
+    if (a.first) {
+      a.start = r.issue_time_us;
+      a.first = false;
+    }
+    a.start = std::min(a.start, r.issue_time_us);
+    a.end = std::max(a.end, r.issue_time_us + r.response_us);
+    ++a.ops;
+    if (fsmodel::is_data_op(r.op)) {
+      a.bytes += r.actual_bytes;
+      auto& touch = touches_[key][r.file_id];
+      touch.bytes += r.actual_bytes;
+      touch.file_size = std::max(touch.file_size, r.file_size);
+      touch.category = r.category;
+    } else if (r.op == fsmodel::FsOpType::open || r.op == fsmodel::FsOpType::creat) {
+      // Opening counts as referencing the file even if no byte moves.
+      auto& touch = touches_[key][r.file_id];
+      touch.file_size = std::max(touch.file_size, r.file_size);
+      touch.category = r.category;
+    }
+  }
+
+  sessions_.reserve(acc.size());
+  for (const auto& [key, a] : acc) {
+    SessionSummary s;
+    s.user = key.first;
+    s.session = key.second;
+    s.start_us = a.start;
+    s.end_us = a.end;
+    s.ops = a.ops;
+    s.bytes_accessed = a.bytes;
+    const auto touched = touches_.find(key);
+    if (touched != touches_.end()) {
+      s.files_referenced = touched->second.size();
+      for (const auto& [file, t] : touched->second) {
+        s.total_file_bytes += static_cast<double>(t.file_size);
+      }
+      if (s.files_referenced > 0) {
+        s.mean_file_size = s.total_file_bytes / static_cast<double>(s.files_referenced);
+      }
+      if (s.total_file_bytes > 0.0) {
+        s.access_per_byte = static_cast<double>(s.bytes_accessed) / s.total_file_bytes;
+      }
+    }
+    sessions_.push_back(s);
+  }
+}
+
+stats::RunningSummary UsageAnalyzer::access_size_stats() const {
+  stats::RunningSummary out;
+  for (const auto& r : log_.records()) {
+    if (fsmodel::is_data_op(r.op)) out.add(static_cast<double>(r.actual_bytes));
+  }
+  return out;
+}
+
+stats::RunningSummary UsageAnalyzer::response_stats() const {
+  stats::RunningSummary out;
+  for (const auto& r : log_.records()) out.add(r.response_us);
+  return out;
+}
+
+stats::RunningSummary UsageAnalyzer::data_response_stats() const {
+  stats::RunningSummary out;
+  for (const auto& r : log_.records()) {
+    if (fsmodel::is_data_op(r.op)) out.add(r.response_us);
+  }
+  return out;
+}
+
+double UsageAnalyzer::response_per_byte_us() const {
+  double response = 0.0;
+  double bytes = 0.0;
+  for (const auto& r : log_.records()) {
+    response += r.response_us;
+    if (fsmodel::is_data_op(r.op)) bytes += static_cast<double>(r.actual_bytes);
+  }
+  return bytes > 0.0 ? response / bytes : 0.0;
+}
+
+std::map<fsmodel::FsOpType, OpTypeStats> UsageAnalyzer::per_op_stats() const {
+  std::map<fsmodel::FsOpType, OpTypeStats> out;
+  for (const auto& r : log_.records()) {
+    auto& s = out[r.op];
+    s.response_us.add(r.response_us);
+    if (fsmodel::is_data_op(r.op)) s.access_size.add(static_cast<double>(r.actual_bytes));
+  }
+  return out;
+}
+
+namespace {
+
+stats::Histogram histogram_of(const std::vector<double>& values, std::size_t bins) {
+  if (values.empty()) return stats::Histogram(0.0, 1.0, bins);
+  return stats::Histogram::from_data(values, bins);
+}
+
+}  // namespace
+
+stats::Histogram UsageAnalyzer::session_access_per_byte_histogram(std::size_t bins) const {
+  std::vector<double> values;
+  values.reserve(sessions_.size());
+  for (const auto& s : sessions_) {
+    if (s.files_referenced > 0) values.push_back(s.access_per_byte);
+  }
+  return histogram_of(values, bins);
+}
+
+stats::Histogram UsageAnalyzer::session_file_size_histogram(std::size_t bins) const {
+  std::vector<double> values;
+  values.reserve(sessions_.size());
+  for (const auto& s : sessions_) {
+    if (s.files_referenced > 0) values.push_back(s.mean_file_size);
+  }
+  return histogram_of(values, bins);
+}
+
+stats::Histogram UsageAnalyzer::session_files_histogram(std::size_t bins) const {
+  std::vector<double> values;
+  values.reserve(sessions_.size());
+  for (const auto& s : sessions_) values.push_back(static_cast<double>(s.files_referenced));
+  return histogram_of(values, bins);
+}
+
+std::map<std::string, CategoryUsage> UsageAnalyzer::per_category_usage() const {
+  std::map<std::string, CategoryUsage> out;
+  std::map<std::string, std::size_t> sessions_touching;
+  for (const auto& [key, files] : touches_) {
+    std::map<std::string, std::size_t> files_in_category;
+    for (const auto& [file, t] : files) {
+      const std::string label = t.category.label();
+      auto& usage = out[label];
+      if (t.file_size > 0) {
+        usage.access_per_byte.add(static_cast<double>(t.bytes) /
+                                  static_cast<double>(t.file_size));
+        usage.file_size.add(static_cast<double>(t.file_size));
+      }
+      ++files_in_category[label];
+    }
+    for (const auto& [label, count] : files_in_category) {
+      out[label].files_per_session.add(static_cast<double>(count));
+      ++sessions_touching[label];
+    }
+  }
+  const double total_sessions = static_cast<double>(touches_.size());
+  if (total_sessions > 0.0) {
+    for (auto& [label, usage] : out) {
+      usage.fraction_sessions_touching =
+          static_cast<double>(sessions_touching[label]) / total_sessions;
+    }
+  }
+  return out;
+}
+
+}  // namespace wlgen::core

@@ -1,0 +1,293 @@
+#include "core/baseline.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/stages.h"
+
+namespace wlgen::core {
+
+ScriptRunner::ScriptRunner(sim::Simulation& sim, fs::SimulatedFileSystem& fsys,
+                           fsmodel::FileSystemModel& model)
+    : sim_(sim), fsys_(fsys), model_(model) {}
+
+namespace {
+
+/// Mutable interpreter state shared across the completion chain.
+struct RunState {
+  const std::vector<ScriptOp>* script = nullptr;
+  std::size_t cursor = 0;
+  std::map<std::string, fs::Fd> open_fds;
+  ScriptResult result;
+  int current_phase = 0;
+  double phase_start_us = 0.0;
+};
+
+}  // namespace
+
+ScriptResult ScriptRunner::run(const std::vector<ScriptOp>& script,
+                               std::vector<std::string> phase_names) {
+  auto state = std::make_shared<RunState>();
+  state->script = &script;
+  state->result.phase_names = std::move(phase_names);
+  int max_phase = 0;
+  for (const auto& op : script) max_phase = std::max(max_phase, op.phase);
+  state->result.phase_us.assign(static_cast<std::size_t>(max_phase) + 1, 0.0);
+  while (state->result.phase_names.size() < state->result.phase_us.size()) {
+    state->result.phase_names.push_back("phase" +
+                                        std::to_string(state->result.phase_names.size()));
+  }
+  state->phase_start_us = sim_.now();
+  const double run_start = sim_.now();
+
+  // One step = apply the op logically, compile it temporally, then continue
+  // from the completion callback — a single-threaded benchmark process.
+  std::function<void()> step = [this, state, &step]() {
+    if (state->cursor >= state->script->size()) return;
+    const ScriptOp& op = (*state->script)[state->cursor++];
+
+    if (op.phase != state->current_phase) {
+      state->result.phase_us[static_cast<std::size_t>(state->current_phase)] +=
+          sim_.now() - state->phase_start_us;
+      state->current_phase = op.phase;
+      state->phase_start_us = sim_.now();
+    }
+
+    fsmodel::FsOp model_op;
+    model_op.type = op.type;
+    std::uint64_t actual = 0;
+
+    switch (op.type) {
+      case fsmodel::FsOpType::mkdir:
+        fsys_.mkdir_recursive(op.path);
+        break;
+      case fsmodel::FsOpType::creat: {
+        const auto fd = fsys_.creat(op.path);
+        if (fd.ok()) state->open_fds[op.path] = fd.value();
+        break;
+      }
+      case fsmodel::FsOpType::open: {
+        const auto fd = fsys_.open(op.path, fs::kRead | fs::kWrite);
+        if (fd.ok()) state->open_fds[op.path] = fd.value();
+        break;
+      }
+      case fsmodel::FsOpType::close: {
+        const auto it = state->open_fds.find(op.path);
+        if (it != state->open_fds.end()) {
+          fsys_.close(it->second);
+          state->open_fds.erase(it);
+        }
+        break;
+      }
+      case fsmodel::FsOpType::lseek: {
+        const auto it = state->open_fds.find(op.path);
+        if (it != state->open_fds.end() && op.offset >= 0) {
+          fsys_.lseek(it->second, op.offset, fs::Seek::set);
+        }
+        break;
+      }
+      case fsmodel::FsOpType::read:
+      case fsmodel::FsOpType::write: {
+        const auto it = state->open_fds.find(op.path);
+        if (it == state->open_fds.end()) break;
+        if (op.offset >= 0) fsys_.lseek(it->second, op.offset, fs::Seek::set);
+        const auto pos = fsys_.tell(it->second);
+        model_op.offset = pos.ok() ? pos.value() : 0;
+        if (op.type == fsmodel::FsOpType::read) {
+          const auto got = fsys_.read(it->second, op.bytes);
+          actual = got.ok() ? got.value() : 0;
+        } else {
+          const auto wrote = fsys_.write(it->second, op.bytes);
+          actual = wrote.ok() ? wrote.value() : 0;
+        }
+        break;
+      }
+      case fsmodel::FsOpType::stat:
+      case fsmodel::FsOpType::readdir:
+      case fsmodel::FsOpType::unlink:
+        // Applied below via path-based calls; failures are benign here.
+        if (op.type == fsmodel::FsOpType::unlink) fsys_.unlink(op.path);
+        break;
+    }
+
+    const auto st = fsys_.stat(op.path);
+    if (st.ok()) {
+      model_op.file_id = st.value().inode;
+      model_op.file_size = st.value().size;
+    }
+    model_op.size = actual;
+
+    const double issued_at = sim_.now();
+    const std::uint64_t requested = op.bytes;
+    const auto op_type = op.type;
+    sim::execute_chain(sim_, model_.plan(model_op),
+                       [state, issued_at, op_type, requested, actual, &step,
+                        file_id = model_op.file_id, file_size = model_op.file_size](double elapsed) {
+                         OpRecord record;
+                         record.issue_time_us = issued_at;
+                         record.response_us = elapsed;
+                         record.op = op_type;
+                         record.requested_bytes = requested;
+                         record.actual_bytes = actual;
+                         record.file_id = file_id;
+                         record.file_size = file_size;
+                         state->result.log.append(record);
+                         ++state->result.ops;
+                         step();
+                       });
+  };
+
+  step();
+  sim_.run();
+
+  state->result.phase_us[static_cast<std::size_t>(state->current_phase)] +=
+      sim_.now() - state->phase_start_us;
+  state->result.total_us = sim_.now() - run_start;
+  // Close anything the script left open.
+  for (const auto& [path, fd] : state->open_fds) fsys_.close(fd);
+  return std::move(state->result);
+}
+
+namespace {
+
+std::string andrew_file(const AndrewConfig& c, const std::string& root, std::size_t dir,
+                        std::size_t file) {
+  return root + "/d" + std::to_string(dir) + "/f" + std::to_string(file);
+}
+
+void append_full_write(std::vector<ScriptOp>& script, const std::string& path,
+                       std::uint64_t total, std::uint64_t chunk, int phase) {
+  script.push_back({fsmodel::FsOpType::creat, path, 0, -1, phase});
+  for (std::uint64_t done = 0; done < total; done += chunk) {
+    script.push_back({fsmodel::FsOpType::write, path, std::min(chunk, total - done), -1, phase});
+  }
+  script.push_back({fsmodel::FsOpType::close, path, 0, -1, phase});
+}
+
+void append_full_read(std::vector<ScriptOp>& script, const std::string& path,
+                      std::uint64_t total, std::uint64_t chunk, int phase) {
+  script.push_back({fsmodel::FsOpType::open, path, 0, -1, phase});
+  for (std::uint64_t done = 0; done < total; done += chunk) {
+    script.push_back({fsmodel::FsOpType::read, path, std::min(chunk, total - done), -1, phase});
+  }
+  script.push_back({fsmodel::FsOpType::close, path, 0, -1, phase});
+}
+
+}  // namespace
+
+std::vector<std::string> andrew_phase_names() {
+  return {"Setup", "MakeDir", "Copy", "ScanDir", "ReadAll", "Make"};
+}
+
+std::vector<ScriptOp> make_andrew_script(const AndrewConfig& c) {
+  std::vector<ScriptOp> script;
+
+  // Phase 0 — Setup: materialise the source tree (not part of the paper's
+  // benchmark timing, reported separately).
+  script.push_back({fsmodel::FsOpType::mkdir, c.source_root, 0, -1, 0});
+  for (std::size_t d = 0; d < c.directories; ++d) {
+    script.push_back(
+        {fsmodel::FsOpType::mkdir, c.source_root + "/d" + std::to_string(d), 0, -1, 0});
+    for (std::size_t f = 0; f < c.files_per_directory; ++f) {
+      append_full_write(script, andrew_file(c, c.source_root, d, f), c.file_bytes,
+                        c.io_chunk_bytes, 0);
+    }
+  }
+
+  // Phase 1 — MakeDir: replicate the directory skeleton.
+  script.push_back({fsmodel::FsOpType::mkdir, c.target_root, 0, -1, 1});
+  for (std::size_t d = 0; d < c.directories; ++d) {
+    script.push_back(
+        {fsmodel::FsOpType::mkdir, c.target_root + "/d" + std::to_string(d), 0, -1, 1});
+  }
+
+  // Phase 2 — Copy: read every source file, write its target twin.
+  for (std::size_t d = 0; d < c.directories; ++d) {
+    for (std::size_t f = 0; f < c.files_per_directory; ++f) {
+      const std::string src = andrew_file(c, c.source_root, d, f);
+      const std::string dst = andrew_file(c, c.target_root, d, f);
+      script.push_back({fsmodel::FsOpType::open, src, 0, -1, 2});
+      script.push_back({fsmodel::FsOpType::creat, dst, 0, -1, 2});
+      for (std::uint64_t done = 0; done < c.file_bytes; done += c.io_chunk_bytes) {
+        const std::uint64_t n = std::min(c.io_chunk_bytes, c.file_bytes - done);
+        script.push_back({fsmodel::FsOpType::read, src, n, -1, 2});
+        script.push_back({fsmodel::FsOpType::write, dst, n, -1, 2});
+      }
+      script.push_back({fsmodel::FsOpType::close, src, 0, -1, 2});
+      script.push_back({fsmodel::FsOpType::close, dst, 0, -1, 2});
+    }
+  }
+
+  // Phase 3 — ScanDir: stat of every copied file plus directory reads.
+  for (std::size_t d = 0; d < c.directories; ++d) {
+    script.push_back(
+        {fsmodel::FsOpType::readdir, c.target_root + "/d" + std::to_string(d), 0, -1, 3});
+    for (std::size_t f = 0; f < c.files_per_directory; ++f) {
+      script.push_back({fsmodel::FsOpType::stat, andrew_file(c, c.target_root, d, f), 0, -1, 3});
+    }
+  }
+
+  // Phase 4 — ReadAll: sequential read of every byte of the copy.
+  for (std::size_t d = 0; d < c.directories; ++d) {
+    for (std::size_t f = 0; f < c.files_per_directory; ++f) {
+      append_full_read(script, andrew_file(c, c.target_root, d, f), c.file_bytes,
+                       c.io_chunk_bytes, 4);
+    }
+  }
+
+  // Phase 5 — Make: re-read sources, emit an object file per source.
+  for (std::size_t d = 0; d < c.directories; ++d) {
+    for (std::size_t f = 0; f < c.files_per_directory; ++f) {
+      append_full_read(script, andrew_file(c, c.target_root, d, f), c.file_bytes,
+                       c.io_chunk_bytes, 5);
+      append_full_write(script, andrew_file(c, c.target_root, d, f) + ".o", c.file_bytes / 2,
+                        c.io_chunk_bytes, 5);
+    }
+  }
+  return script;
+}
+
+std::vector<std::string> buchholz_phase_names(const BuchholzConfig& c) {
+  std::vector<std::string> names = {"Setup"};
+  for (std::size_t p = 0; p < c.passes; ++p) names.push_back("Update" + std::to_string(p + 1));
+  return names;
+}
+
+std::vector<ScriptOp> make_buchholz_script(const BuchholzConfig& c) {
+  std::vector<ScriptOp> script;
+  const std::string master = c.root + "/master";
+  const std::string detail = c.root + "/detail";
+
+  // Phase 0 — Setup: materialise master and detail files.
+  script.push_back({fsmodel::FsOpType::mkdir, c.root, 0, -1, 0});
+  append_full_write(script, master,
+                    static_cast<std::uint64_t>(c.master_records) * c.record_bytes, c.block_bytes,
+                    0);
+  append_full_write(script, detail,
+                    static_cast<std::uint64_t>(c.detail_records) * c.record_bytes, c.block_bytes,
+                    0);
+
+  // Update passes: sequential detail reads drive random master updates — the
+  // "general file update process" Buchholz proposed as a yardstick.
+  util::RngStream rng(c.seed, "buchholz");
+  for (std::size_t pass = 0; pass < c.passes; ++pass) {
+    const int phase = static_cast<int>(pass) + 1;
+    script.push_back({fsmodel::FsOpType::open, master, 0, -1, phase});
+    script.push_back({fsmodel::FsOpType::open, detail, 0, -1, phase});
+    script.push_back({fsmodel::FsOpType::lseek, detail, 0, 0, phase});
+    for (std::size_t r = 0; r < c.detail_records; ++r) {
+      script.push_back({fsmodel::FsOpType::read, detail, c.record_bytes, -1, phase});
+      const std::int64_t record = rng.uniform_int(0, static_cast<std::int64_t>(c.master_records) - 1);
+      const std::int64_t offset = record * static_cast<std::int64_t>(c.record_bytes);
+      script.push_back({fsmodel::FsOpType::read, master, c.record_bytes, offset, phase});
+      script.push_back({fsmodel::FsOpType::write, master, c.record_bytes, offset, phase});
+    }
+    script.push_back({fsmodel::FsOpType::close, master, 0, -1, phase});
+    script.push_back({fsmodel::FsOpType::close, detail, 0, -1, phase});
+  }
+  return script;
+}
+
+}  // namespace wlgen::core

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/usage_log.h"
+#include "fs/filesystem.h"
+#include "fsmodel/model.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace wlgen::core {
+
+/// One step of a scripted (benchmark-style) workload.
+struct ScriptOp {
+  fsmodel::FsOpType type = fsmodel::FsOpType::read;
+  std::string path;
+  std::uint64_t bytes = 0;    ///< read/write request size
+  std::int64_t offset = -1;   ///< >= 0: seek target (lseek) / position (data op)
+  int phase = 0;              ///< phase index for per-phase timing
+};
+
+/// Result of running a script: per-phase elapsed simulated time plus the log.
+struct ScriptResult {
+  std::vector<std::string> phase_names;
+  std::vector<double> phase_us;
+  double total_us = 0.0;
+  std::uint64_t ops = 0;
+  UsageLog log;
+};
+
+/// Executes a fixed op sequence against the logical file system and a
+/// performance model, one call at a time (a benchmark process is
+/// single-threaded).  This is the "benchmarks" workload family of the
+/// paper's related work (section 2.1) — the comparison point that motivates
+/// the user-oriented generator ("benchmarks are too artificial", section 5.3).
+class ScriptRunner {
+ public:
+  ScriptRunner(sim::Simulation& sim, fs::SimulatedFileSystem& fsys,
+               fsmodel::FileSystemModel& model);
+
+  /// Runs the script to completion (drives the simulation).
+  ScriptResult run(const std::vector<ScriptOp>& script, std::vector<std::string> phase_names);
+
+ private:
+  sim::Simulation& sim_;
+  fs::SimulatedFileSystem& fsys_;
+  fsmodel::FileSystemModel& model_;
+};
+
+/// Configuration for the Andrew-style benchmark (Howard et al., cited in
+/// section 2.1: "a script, consisting of makedir, copy, scandir, readall and
+/// make").
+struct AndrewConfig {
+  std::size_t directories = 5;
+  std::size_t files_per_directory = 14;  ///< 70 files, like the Andrew tree
+  std::uint64_t file_bytes = 10240;
+  std::uint64_t io_chunk_bytes = 4096;
+  std::string source_root = "/andrew_src";
+  std::string target_root = "/andrew";
+};
+
+/// Builds the five-phase Andrew script: (0) setup of the source tree,
+/// (1) MakeDir, (2) Copy, (3) ScanDir, (4) ReadAll, (5) Make.
+std::vector<ScriptOp> make_andrew_script(const AndrewConfig& config);
+
+/// Phase names matching make_andrew_script.
+std::vector<std::string> andrew_phase_names();
+
+/// Configuration for the Buchholz synthetic file-update job (Buchholz 1969;
+/// Sreenivasan & Kleinman 1974 — both cited in section 2.1): a master file
+/// updated from a detail file, parameterised by record counts and sizes.
+struct BuchholzConfig {
+  std::size_t master_records = 512;
+  std::size_t detail_records = 128;
+  std::uint64_t record_bytes = 120;
+  std::uint64_t block_bytes = 2048;  ///< setup write granularity
+  std::size_t passes = 1;
+  std::uint64_t seed = 1969;
+  std::string root = "/buchholz";
+};
+
+/// Builds the Buchholz script: (0) setup master+detail files, (1..) one
+/// update pass each: sequential detail reads, random-offset master
+/// read-modify-writes.
+std::vector<ScriptOp> make_buchholz_script(const BuchholzConfig& config);
+
+/// Phase names matching make_buchholz_script.
+std::vector<std::string> buchholz_phase_names(const BuchholzConfig& config);
+
+}  // namespace wlgen::core

@@ -1,0 +1,204 @@
+#include "core/fsc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wlgen::core {
+
+const std::vector<std::size_t> CreatedFileSystem::kEmptyPool = {};
+
+std::string CreatedFileSystem::system_dir() { return "/system"; }
+
+std::string CreatedFileSystem::user_dir(std::size_t user) {
+  return "/users/u" + std::to_string(user);
+}
+
+void CreatedFileSystem::add_file(CreatedFile file) {
+  const std::size_t index = files_.size();
+  const PoolKey key{file.category.index(), file.owner_user};
+  files_.push_back(std::move(file));
+  pools_[key].push_back(index);
+}
+
+const std::vector<std::size_t>& CreatedFileSystem::pool(const FileCategory& category,
+                                                        std::size_t user) const {
+  const std::size_t owner =
+      category.owner == FileOwner::user ? user : CreatedFile::kSystemOwner;
+  const auto it = pools_.find(PoolKey{category.index(), owner});
+  return it == pools_.end() ? kEmptyPool : it->second;
+}
+
+FileSystemCreator::FileSystemCreator(fs::SimulatedFileSystem& fsys,
+                                     std::vector<FileCategoryProfile> profiles, FscConfig config)
+    : fsys_(fsys), profiles_(std::move(profiles)), config_(config), rng_(config.seed, "fsc") {
+  if (profiles_.empty()) throw std::invalid_argument("FileSystemCreator: no category profiles");
+  if (config_.num_users == 0) throw std::invalid_argument("FileSystemCreator: need >= 1 user");
+}
+
+std::uint64_t FileSystemCreator::sample_size(const FileCategoryProfile& profile) {
+  if (!profile.size_dist) throw std::invalid_argument("FileSystemCreator: profile missing size dist");
+  const double v = profile.size_dist->sample(rng_);
+  return static_cast<std::uint64_t>(std::max(1.0, std::llround(v) * 1.0));
+}
+
+namespace {
+
+std::string category_file_name(const FileCategory& category, std::size_t ordinal) {
+  std::string name = category.label();
+  for (auto& c : name) {
+    if (c == '/' || c == '-') c = '_';
+  }
+  std::string lowered;
+  for (char c : name) lowered += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return lowered + "_" + std::to_string(ordinal);
+}
+
+void require_ok(fs::FsStatus status, const std::string& what) {
+  if (status != fs::FsStatus::ok) {
+    throw std::runtime_error("FileSystemCreator: " + what + " failed: " +
+                             fs::to_string(status));
+  }
+}
+
+}  // namespace
+
+void FileSystemCreator::create_regular(CreatedFileSystem& out,
+                                       const FileCategoryProfile& profile, const std::string& dir,
+                                       std::size_t owner_user, std::size_t ordinal) {
+  const std::string path = dir + "/" + category_file_name(profile.category, ordinal);
+  const std::uint64_t size = sample_size(profile);
+  const auto fd = fsys_.creat(path);
+  if (!fd.ok()) {
+    throw std::runtime_error("FileSystemCreator: creat(" + path + ") failed: " +
+                             fs::to_string(fd.status()));
+  }
+  const auto wrote = fsys_.write(fd.value(), size);
+  if (!wrote.ok()) {
+    throw std::runtime_error("FileSystemCreator: populate(" + path + ") failed: " +
+                             fs::to_string(wrote.status()));
+  }
+  require_ok(fsys_.close(fd.value()), "close(" + path + ")");
+
+  CreatedFile file;
+  file.path = path;
+  file.category = profile.category;
+  file.size = size;
+  file.owner_user = owner_user;
+  file.inode = fsys_.stat(path).value().inode;
+  out.add_file(std::move(file));
+}
+
+CreatedFileSystem FileSystemCreator::create() {
+  CreatedFileSystem out;
+  out.set_user_count(config_.num_users);
+
+  require_ok(fsys_.mkdir_recursive(CreatedFileSystem::system_dir()), "mkdir /system");
+  require_ok(fsys_.mkdir_recursive("/users"), "mkdir /users");
+
+  // Partition the regular-file profiles by owner.  Directory-category
+  // profiles are realised by the layout's real directories, whose sizes
+  // emerge from their entry counts (see fs::SimulatedFileSystem).
+  std::vector<const FileCategoryProfile*> user_profiles;
+  std::vector<const FileCategoryProfile*> notes_profiles;
+  std::vector<const FileCategoryProfile*> other_profiles;
+  for (const auto& p : profiles_) {
+    if (p.category.file_type != FileType::regular) continue;
+    switch (p.category.owner) {
+      case FileOwner::user: user_profiles.push_back(&p); break;
+      case FileOwner::notes: notes_profiles.push_back(&p); break;
+      case FileOwner::other: other_profiles.push_back(&p); break;
+    }
+  }
+
+  // System subtrees: the NOTES and OTHER categories each get half of the
+  // configured system subdirectories (at least one apiece).
+  const std::size_t notes_dirs = std::max<std::size_t>(1, config_.system_subdirs / 2);
+  const std::size_t other_dirs =
+      std::max<std::size_t>(1, config_.system_subdirs - notes_dirs);
+  std::vector<std::string> notes_paths, other_paths;
+  for (std::size_t i = 0; i < notes_dirs; ++i) {
+    const std::string dir = CreatedFileSystem::system_dir() + "/notes" + std::to_string(i);
+    require_ok(fsys_.mkdir_recursive(dir), "mkdir " + dir);
+    notes_paths.push_back(dir);
+  }
+  for (std::size_t i = 0; i < other_dirs; ++i) {
+    const std::string dir = CreatedFileSystem::system_dir() + "/other" + std::to_string(i);
+    require_ok(fsys_.mkdir_recursive(dir), "mkdir " + dir);
+    other_paths.push_back(dir);
+  }
+
+  const auto create_system = [&](const std::vector<const FileCategoryProfile*>& profiles,
+                                 const std::vector<std::string>& dirs, std::size_t count) {
+    if (profiles.empty() || dirs.empty()) return;
+    std::vector<double> weights;
+    for (const auto* p : profiles) weights.push_back(std::max(p->fraction_of_files, 1e-9));
+    std::vector<std::size_t> ordinal(profiles.size(), 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t pick = rng_.categorical(weights);
+      const auto& dir = dirs[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(dirs.size()) - 1))];
+      create_regular(out, *profiles[pick], dir, CreatedFile::kSystemOwner, ordinal[pick]++);
+    }
+  };
+  // Split the system file budget by the relative NOTES/OTHER fractions.
+  double notes_frac = 0.0, other_frac = 0.0;
+  for (const auto* p : notes_profiles) notes_frac += p->fraction_of_files;
+  for (const auto* p : other_profiles) other_frac += p->fraction_of_files;
+  const double system_total = std::max(notes_frac + other_frac, 1e-9);
+  const std::size_t notes_count = static_cast<std::size_t>(
+      std::llround(static_cast<double>(config_.system_files) * notes_frac / system_total));
+  create_system(notes_profiles, notes_paths, notes_count);
+  create_system(other_profiles, other_paths, config_.system_files - notes_count);
+
+  // Per-user home + subdirectories and files.
+  for (std::size_t user = 0; user < config_.num_users; ++user) {
+    const std::string home = CreatedFileSystem::user_dir(user);
+    require_ok(fsys_.mkdir_recursive(home), "mkdir " + home);
+    std::vector<std::string> dirs = {home};
+    for (std::size_t i = 0; i < config_.user_subdirs; ++i) {
+      const std::string dir = home + "/d" + std::to_string(i);
+      require_ok(fsys_.mkdir_recursive(dir), "mkdir " + dir);
+      dirs.push_back(dir);
+    }
+    if (user_profiles.empty()) continue;
+    std::vector<double> weights;
+    for (const auto* p : user_profiles) weights.push_back(std::max(p->fraction_of_files, 1e-9));
+    std::vector<std::size_t> ordinal(user_profiles.size(), 0);
+    for (std::size_t i = 0; i < config_.files_per_user; ++i) {
+      const std::size_t pick = rng_.categorical(weights);
+      const auto& dir = dirs[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(dirs.size()) - 1))];
+      create_regular(out, *user_profiles[pick], dir, user, ordinal[pick]++);
+    }
+  }
+
+  // Register the real directories under their DIR categories so the USIM can
+  // reference them: the user's own directories (DIR/USER) and the system and
+  // users directories (DIR/OTHER).
+  const auto add_dir = [&](const std::string& path, FileOwner owner, std::size_t owner_user) {
+    const auto st = fsys_.stat(path);
+    if (!st.ok()) return;
+    CreatedFile file;
+    file.path = path;
+    file.category = FileCategory{FileType::directory, owner, UseMode::read_only};
+    file.size = st.value().size;
+    file.inode = st.value().inode;
+    file.owner_user = owner_user;
+    out.add_file(std::move(file));
+  };
+  add_dir(CreatedFileSystem::system_dir(), FileOwner::other, CreatedFile::kSystemOwner);
+  add_dir("/users", FileOwner::other, CreatedFile::kSystemOwner);
+  for (const auto& dir : notes_paths) add_dir(dir, FileOwner::other, CreatedFile::kSystemOwner);
+  for (const auto& dir : other_paths) add_dir(dir, FileOwner::other, CreatedFile::kSystemOwner);
+  for (std::size_t user = 0; user < config_.num_users; ++user) {
+    add_dir(CreatedFileSystem::user_dir(user), FileOwner::user, user);
+    for (std::size_t i = 0; i < config_.user_subdirs; ++i) {
+      add_dir(CreatedFileSystem::user_dir(user) + "/d" + std::to_string(i), FileOwner::user,
+              user);
+    }
+  }
+  return out;
+}
+
+}  // namespace wlgen::core

@@ -1,0 +1,124 @@
+#include "core/replay.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/stages.h"
+
+namespace wlgen::core {
+
+TraceReplayer::TraceReplayer(sim::Simulation& sim, fsmodel::FileSystemModel& model,
+                             const UsageLog& trace)
+    : sim_(sim), model_(model), trace_(trace) {}
+
+UsageLog TraceReplayer::run() { return run(Options{}); }
+
+UsageLog TraceReplayer::run(const Options& options) {
+  if (ran_) throw std::logic_error("TraceReplayer::run: may only run once");
+  ran_ = true;
+  if (options.time_scale <= 0.0) {
+    throw std::invalid_argument("TraceReplayer: time_scale must be > 0");
+  }
+
+  auto result = std::make_shared<UsageLog>();
+
+  if (options.preserve_timing) {
+    // Open loop: issue every op at its recorded (scaled) timestamp.
+    double base = 0.0;
+    if (!trace_.records().empty()) base = trace_.records().front().issue_time_us;
+    for (const auto& r : trace_.records()) {
+      const double when = std::max(0.0, (r.issue_time_us - base) * options.time_scale);
+      sim_.schedule_at(when, [this, r, result]() {
+        fsmodel::FsOp op;
+        op.type = r.op;
+        op.file_id = r.file_id;
+        op.size = r.actual_bytes;
+        op.file_size = r.file_size;
+        const double issued = sim_.now();
+        sim::execute_chain(sim_, model_.plan(op), [this, r, result, issued](double elapsed) {
+          OpRecord out = r;
+          out.issue_time_us = issued;
+          out.response_us = elapsed;
+          result->append(out);
+          ++ops_replayed_;
+        });
+      });
+    }
+    sim_.run();
+    return std::move(*result);
+  }
+
+  // Closed loop: per recorded user, preserve the think gaps between the end
+  // of one call and the issue of the next.
+  struct UserTrace {
+    std::vector<OpRecord> ops;
+    std::vector<double> gaps;  // gap before ops[i]
+  };
+  auto traces = std::make_shared<std::map<std::uint32_t, UserTrace>>();
+  for (const auto& r : trace_.records()) (*traces)[r.user].ops.push_back(r);
+  for (auto& [user, t] : *traces) {
+    std::sort(t.ops.begin(), t.ops.end(),
+              [](const OpRecord& a, const OpRecord& b) { return a.issue_time_us < b.issue_time_us; });
+    t.gaps.resize(t.ops.size(), 0.0);
+    for (std::size_t i = 1; i < t.ops.size(); ++i) {
+      const double prev_end = t.ops[i - 1].issue_time_us + t.ops[i - 1].response_us;
+      t.gaps[i] = std::max(0.0, (t.ops[i].issue_time_us - prev_end) * options.time_scale);
+    }
+  }
+
+  // Each user is a chain: gap -> op -> completion -> next.
+  struct Walker {
+    TraceReplayer* self;
+    std::shared_ptr<UsageLog> result;
+    const UserTrace* trace;
+    std::size_t index = 0;
+
+    void step() {
+      if (index >= trace->ops.size()) return;
+      const OpRecord& r = trace->ops[index];
+      const double gap = trace->gaps[index];
+      ++index;
+      self->sim_.schedule(gap, [this, r]() {
+        fsmodel::FsOp op;
+        op.type = r.op;
+        op.file_id = r.file_id;
+        op.size = r.actual_bytes;
+        op.file_size = r.file_size;
+        const double issued = self->sim_.now();
+        sim::execute_chain(self->sim_, self->model_.plan(op),
+                           [this, r, issued](double elapsed) {
+                             OpRecord out = r;
+                             out.issue_time_us = issued;
+                             out.response_us = elapsed;
+                             result->append(out);
+                             ++self->ops_replayed_;
+                             step();
+                           });
+      });
+    }
+  };
+
+  std::vector<std::shared_ptr<Walker>> walkers;
+  for (const auto& [user, t] : *traces) {
+    auto w = std::make_shared<Walker>();
+    w->self = this;
+    w->result = result;
+    w->trace = &t;
+    walkers.push_back(w);
+    w->step();
+  }
+  sim_.run();
+
+  // Canonical order for determinism: by issue time, then user.
+  std::sort(result->records_mutable().begin(), result->records_mutable().end(),
+            [](const OpRecord& a, const OpRecord& b) {
+              if (a.issue_time_us != b.issue_time_us) return a.issue_time_us < b.issue_time_us;
+              return a.user < b.user;
+            });
+  return std::move(*result);
+}
+
+}  // namespace wlgen::core

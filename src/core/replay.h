@@ -1,0 +1,48 @@
+#pragma once
+
+#include "core/usage_log.h"
+#include "fsmodel/model.h"
+#include "sim/simulation.h"
+
+namespace wlgen::core {
+
+/// Trace-driven workload replay — the related-work alternative the paper
+/// positions itself against (section 2.1: "trace data reproduces the actual
+/// workload, but provides an inflexible description").
+///
+/// Replays a recorded UsageLog against a (possibly different) file-system
+/// model and re-measures every response.  Two modes:
+///
+/// * **open loop** (preserve_timing): ops are issued at their recorded
+///   timestamps regardless of how the new system responds — how trace
+///   replay is usually done, and where its inflexibility bites (the trace
+///   cannot react to a slower system, nor represent more users than it
+///   recorded);
+/// * **closed loop**: each simulated user issues its next op only after the
+///   previous one completes plus the recorded think gap, approximating the
+///   original feedback behaviour.
+class TraceReplayer {
+ public:
+  struct Options {
+    bool preserve_timing = true;  ///< open loop (timestamps) vs closed loop
+    double time_scale = 1.0;      ///< stretch (>1) or compress (<1) the trace clock
+  };
+
+  TraceReplayer(sim::Simulation& sim, fsmodel::FileSystemModel& model, const UsageLog& trace);
+
+  /// Replays the whole trace; returns a log with the same ops but response
+  /// times re-measured on `model`.  May be called once.
+  UsageLog run();
+  UsageLog run(const Options& options);
+
+  std::uint64_t ops_replayed() const { return ops_replayed_; }
+
+ private:
+  sim::Simulation& sim_;
+  fsmodel::FileSystemModel& model_;
+  const UsageLog& trace_;
+  std::uint64_t ops_replayed_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace wlgen::core

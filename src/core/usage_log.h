@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "fsmodel/model.h"
+
+namespace wlgen::core {
+
+/// One logged system call — a line of the paper's "Usage log file"
+/// (Figure 4.1): who did what to which file, how many bytes moved, and how
+/// long the call took on the simulated clock.
+struct OpRecord {
+  double issue_time_us = 0.0;     ///< simulated time the call was issued
+  double response_us = 0.0;       ///< completion - issue (queueing included)
+  std::uint32_t user = 0;
+  std::uint32_t session = 0;      ///< login session ordinal for this user
+  fsmodel::FsOpType op = fsmodel::FsOpType::read;
+  std::uint64_t requested_bytes = 0;  ///< bytes asked for (read/write)
+  std::uint64_t actual_bytes = 0;     ///< bytes moved (EOF-truncated)
+  std::uint64_t file_id = 0;          ///< inode
+  std::uint64_t file_size = 0;        ///< file size observed at the call
+  FileCategory category;
+};
+
+/// Append-only usage log with text round-tripping, consumed by the Usage
+/// Analyzer exactly as in the paper's pipeline.
+class UsageLog {
+ public:
+  void append(OpRecord record) { records_.push_back(record); }
+
+  const std::vector<OpRecord>& records() const { return records_; }
+  std::vector<OpRecord>& records_mutable() { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+  /// Tab-separated text serialisation (one record per line, with a header).
+  std::string serialize() const;
+
+  /// Parses serialize() output.  Throws std::invalid_argument on bad input.
+  static UsageLog parse(const std::string& text);
+
+ private:
+  std::vector<OpRecord> records_;
+};
+
+}  // namespace wlgen::core

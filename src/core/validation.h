@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/usage_log.h"
+#include "core/workload.h"
+
+namespace wlgen::core {
+
+/// One validated measure: how a generated workload compares with its target
+/// characterisation on a single dimension.
+struct ValidationCheck {
+  std::string measure;      ///< e.g. "access size", "think time gap"
+  double expected_mean = 0.0;
+  double measured_mean = 0.0;
+  double relative_error = 0.0;  ///< |measured - expected| / expected
+  double ks_statistic = 0.0;    ///< 0 when a distributional test is N/A
+  double ks_p_value = 1.0;
+  bool passed = false;
+};
+
+/// Result of validating a usage log against the workload specification that
+/// generated it (or that it is claimed to follow).
+struct ValidationReport {
+  std::vector<ValidationCheck> checks;
+  bool all_passed() const;
+  std::string render() const;  ///< human-readable table
+};
+
+/// Options for validate_log.
+struct ValidationOptions {
+  double mean_tolerance = 0.15;  ///< relative error allowed on means
+  double ks_alpha = 0.01;        ///< significance level for KS rejection
+  /// Means are biased by mechanisms the spec doesn't describe (EOF
+  /// truncation trims access sizes; category wrap granularity trims
+  /// accesses-per-byte); when true the expected means are pre-adjusted by
+  /// the library's standard correction factors before comparison.
+  bool apply_known_corrections = true;
+};
+
+/// The paper's objective that a workload "be amenable to statistical tests
+/// of similarity to the real workload" (section 2.2), as an API: compares a
+/// generated UsageLog against a user type's distributions — requested access
+/// sizes (KS test against the spec), per-category files-per-session and
+/// accesses-per-byte means, category touch probabilities — and reports
+/// pass/fail per measure.
+ValidationReport validate_log(const UsageLog& log, const UserType& spec,
+                              ValidationOptions options = {});
+
+}  // namespace wlgen::core

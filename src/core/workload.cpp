@@ -1,0 +1,107 @@
+#include "core/workload.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wlgen::core {
+
+const char* to_string(FileType v) {
+  switch (v) {
+    case FileType::directory: return "DIR";
+    case FileType::regular: return "REG";
+  }
+  return "?";
+}
+
+const char* to_string(FileOwner v) {
+  switch (v) {
+    case FileOwner::user: return "USER";
+    case FileOwner::notes: return "NOTES";
+    case FileOwner::other: return "OTHER";
+  }
+  return "?";
+}
+
+const char* to_string(UseMode v) {
+  switch (v) {
+    case UseMode::read_only: return "RDONLY";
+    case UseMode::new_file: return "NEW";
+    case UseMode::read_write: return "RD-WRT";
+    case UseMode::temp: return "TEMP";
+  }
+  return "?";
+}
+
+std::string FileCategory::label() const {
+  std::string out = to_string(file_type);
+  out += '/';
+  out += to_string(owner);
+  out += '/';
+  out += to_string(use);
+  return out;
+}
+
+std::size_t FileCategory::index() const {
+  return static_cast<std::size_t>(file_type) * 12 + static_cast<std::size_t>(owner) * 4 +
+         static_cast<std::size_t>(use);
+}
+
+void Population::validate_and_normalize() {
+  if (groups.empty()) throw std::invalid_argument("Population: no groups");
+  double total = 0.0;
+  for (const auto& g : groups) {
+    if (g.fraction < 0.0) throw std::invalid_argument("Population: negative fraction");
+    if (!g.type.think_time_us || !g.type.access_size_bytes) {
+      throw std::invalid_argument("Population: user type missing distributions");
+    }
+    total += g.fraction;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Population: fractions sum to zero");
+  for (auto& g : groups) g.fraction /= total;
+}
+
+const UserType& Population::type_for_user(std::size_t index, std::size_t total) const {
+  if (groups.empty()) throw std::logic_error("Population: no groups");
+  if (total == 0 || index >= total) throw std::invalid_argument("Population: bad user index");
+
+  // Largest-remainder apportionment of `total` users over the groups.
+  std::vector<std::size_t> count(groups.size(), 0);
+  std::vector<double> remainder(groups.size(), 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const double exact = groups[g].fraction * static_cast<double>(total);
+    count[g] = static_cast<std::size_t>(exact);
+    remainder[g] = exact - static_cast<double>(count[g]);
+    assigned += count[g];
+  }
+  while (assigned < total) {
+    std::size_t best = 0;
+    for (std::size_t g = 1; g < groups.size(); ++g) {
+      if (remainder[g] > remainder[best]) best = g;
+    }
+    ++count[best];
+    remainder[best] = -1.0;
+    ++assigned;
+  }
+
+  std::size_t cursor = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    cursor += count[g];
+    if (index < cursor) return groups[g].type;
+  }
+  return groups.back().type;
+}
+
+std::vector<FileCategory> all_categories() {
+  std::vector<FileCategory> out;
+  for (FileType t : {FileType::directory, FileType::regular}) {
+    for (FileOwner o : {FileOwner::user, FileOwner::notes, FileOwner::other}) {
+      for (UseMode u : {UseMode::read_only, UseMode::new_file, UseMode::read_write, UseMode::temp}) {
+        out.push_back(FileCategory{t, o, u});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wlgen::core

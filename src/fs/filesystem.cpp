@@ -1,0 +1,489 @@
+#include "fs/filesystem.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wlgen::fs {
+
+SimulatedFileSystem::SimulatedFileSystem() : SimulatedFileSystem(Options{}) {}
+
+SimulatedFileSystem::SimulatedFileSystem(Options options) : options_(options) {
+  Inode root;
+  root.id = 1;
+  root.kind = FileKind::directory;
+  root.link_count = 1;
+  inodes_.emplace(root.id, std::move(root));
+}
+
+void SimulatedFileSystem::set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+void SimulatedFileSystem::add_child(Inode& dir, const std::string& name, InodeId id) {
+  dir.children.emplace(name, id);
+  dir.size += 16 + name.size();  // UFS-style directory entry record
+  dir.modified_at = now();
+}
+
+void SimulatedFileSystem::remove_child(Inode& dir, const std::string& name) {
+  const auto it = dir.children.find(name);
+  if (it == dir.children.end()) return;
+  const std::uint64_t entry = 16 + name.size();
+  dir.size -= std::min<std::uint64_t>(dir.size, entry);
+  dir.children.erase(it);
+  dir.modified_at = now();
+}
+
+SimulatedFileSystem::Inode& SimulatedFileSystem::inode_ref(InodeId id) {
+  const auto it = inodes_.find(id);
+  if (it == inodes_.end()) throw std::logic_error("SimulatedFileSystem: dangling inode id");
+  return it->second;
+}
+
+const SimulatedFileSystem::Inode& SimulatedFileSystem::inode_ref(InodeId id) const {
+  const auto it = inodes_.find(id);
+  if (it == inodes_.end()) throw std::logic_error("SimulatedFileSystem: dangling inode id");
+  return it->second;
+}
+
+Result<InodeId> SimulatedFileSystem::resolve(const std::string& path) const {
+  std::vector<std::string> parts;
+  if (!split_path(path, parts)) return FsStatus::invalid_argument;
+  InodeId current = 1;
+  for (const auto& piece : parts) {
+    if (piece.size() > options_.max_name_length) return FsStatus::name_too_long;
+    const Inode& node = inode_ref(current);
+    if (node.kind != FileKind::directory) return FsStatus::not_a_directory;
+    const auto it = node.children.find(piece);
+    if (it == node.children.end()) return FsStatus::not_found;
+    current = it->second;
+  }
+  return current;
+}
+
+Result<InodeId> SimulatedFileSystem::resolve_parent(const std::string& path,
+                                                    std::string& leaf) const {
+  std::vector<std::string> parts;
+  if (!split_path(path, parts)) return FsStatus::invalid_argument;
+  if (parts.empty()) return FsStatus::invalid_argument;  // root has no parent entry
+  leaf = parts.back();
+  if (leaf.size() > options_.max_name_length) return FsStatus::name_too_long;
+  parts.pop_back();
+  InodeId current = 1;
+  for (const auto& piece : parts) {
+    const Inode& node = inode_ref(current);
+    if (node.kind != FileKind::directory) return FsStatus::not_a_directory;
+    const auto it = node.children.find(piece);
+    if (it == node.children.end()) return FsStatus::not_found;
+    current = it->second;
+  }
+  if (inode_ref(current).kind != FileKind::directory) return FsStatus::not_a_directory;
+  return current;
+}
+
+void SimulatedFileSystem::maybe_collect(InodeId id) {
+  const auto it = inodes_.find(id);
+  if (it == inodes_.end()) return;
+  Inode& node = it->second;
+  if (node.link_count == 0 && node.open_count == 0) {
+    bytes_in_use_ -= std::min<std::uint64_t>(bytes_in_use_, node.size);
+    inodes_.erase(it);
+  }
+}
+
+FsStatus SimulatedFileSystem::grow_check(std::uint64_t extra) const {
+  if (options_.capacity_bytes == 0) return FsStatus::ok;
+  if (bytes_in_use_ + extra > options_.capacity_bytes) return FsStatus::no_space;
+  return FsStatus::ok;
+}
+
+Result<SimulatedFileSystem::OpenFile*> SimulatedFileSystem::descriptor(Fd fd) {
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return FsStatus::bad_descriptor;
+  return &it->second;
+}
+
+Result<const SimulatedFileSystem::OpenFile*> SimulatedFileSystem::descriptor(Fd fd) const {
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return FsStatus::bad_descriptor;
+  return &it->second;
+}
+
+Result<Fd> SimulatedFileSystem::open(const std::string& path, unsigned flags) {
+  if ((flags & (kRead | kWrite)) == 0) return FsStatus::invalid_argument;
+  if (open_files_.size() >= options_.max_open_files) return FsStatus::too_many_open_files;
+
+  InodeId target = 0;
+  const Result<InodeId> found = resolve(path);
+  if (found.ok()) {
+    target = found.value();
+    const Inode& node = inode_ref(target);
+    if (node.kind == FileKind::directory && (flags & (kWrite | kTruncate)) != 0) {
+      return FsStatus::is_a_directory;
+    }
+  } else if (found.status() == FsStatus::not_found && (flags & kCreate) != 0) {
+    std::string leaf;
+    const Result<InodeId> parent = resolve_parent(path, leaf);
+    if (!parent.ok()) return parent.status();
+    Inode node;
+    node.id = next_inode_++;
+    node.kind = FileKind::regular;
+    node.link_count = 1;
+    node.created_at = node.modified_at = node.accessed_at = now();
+    target = node.id;
+    inodes_.emplace(node.id, std::move(node));
+    add_child(inode_ref(parent.value()), leaf, target);
+  } else {
+    return found.status();
+  }
+
+  Inode& node = inode_ref(target);
+  if ((flags & kTruncate) != 0 && node.kind == FileKind::regular) {
+    bytes_in_use_ -= std::min<std::uint64_t>(bytes_in_use_, node.size);
+    node.size = 0;
+    node.data.clear();
+    node.modified_at = now();
+  }
+  ++node.open_count;
+
+  const Fd fd = next_fd_++;
+  open_files_.emplace(fd, OpenFile{target, 0, flags});
+  return fd;
+}
+
+Result<Fd> SimulatedFileSystem::creat(const std::string& path) {
+  return open(path, kWrite | kCreate | kTruncate);
+}
+
+FsStatus SimulatedFileSystem::close(Fd fd) {
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return FsStatus::bad_descriptor;
+  const InodeId inode = it->second.inode;
+  open_files_.erase(it);
+  Inode& node = inode_ref(inode);
+  if (node.open_count == 0) throw std::logic_error("SimulatedFileSystem: open_count underflow");
+  --node.open_count;
+  maybe_collect(inode);
+  return FsStatus::ok;
+}
+
+Result<std::uint64_t> SimulatedFileSystem::read(Fd fd, std::uint64_t count) {
+  const auto d = descriptor(fd);
+  if (!d.ok()) return d.status();
+  OpenFile& of = *d.value();
+  if ((of.flags & kRead) == 0) return FsStatus::not_permitted;
+  Inode& node = inode_ref(of.inode);
+  // Directories are readable as special files (4.xBSD semantics; the size is
+  // the directory's entry bytes).
+  const std::uint64_t available = of.offset < node.size ? node.size - of.offset : 0;
+  const std::uint64_t got = std::min(count, available);
+  of.offset += got;
+  ++node.read_ops;
+  node.bytes_read += got;
+  node.accessed_at = now();
+  return got;
+}
+
+Result<std::vector<std::uint8_t>> SimulatedFileSystem::read_bytes(Fd fd, std::uint64_t count) {
+  if (!options_.store_data) return FsStatus::invalid_argument;
+  const auto d = descriptor(fd);
+  if (!d.ok()) return d.status();
+  if (inode_ref(d.value()->inode).kind == FileKind::directory) return FsStatus::is_a_directory;
+  const std::uint64_t start = d.value()->offset;
+  const Result<std::uint64_t> got = read(fd, count);
+  if (!got.ok()) return got.status();
+  const Inode& node = inode_ref(d.value()->inode);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(got.value()));
+  for (std::uint64_t i = 0; i < got.value(); ++i) {
+    out[static_cast<std::size_t>(i)] = node.data[static_cast<std::size_t>(start + i)];
+  }
+  return out;
+}
+
+Result<std::uint64_t> SimulatedFileSystem::write(Fd fd, std::uint64_t count) {
+  const auto d = descriptor(fd);
+  if (!d.ok()) return d.status();
+  OpenFile& of = *d.value();
+  if ((of.flags & kWrite) == 0) return FsStatus::not_permitted;
+  Inode& node = inode_ref(of.inode);
+  if (node.kind == FileKind::directory) return FsStatus::is_a_directory;
+  if ((of.flags & kAppend) != 0) of.offset = node.size;
+  const std::uint64_t end = of.offset + count;
+  if (end > node.size) {
+    const FsStatus space = grow_check(end - node.size);
+    if (space != FsStatus::ok) return space;
+    bytes_in_use_ += end - node.size;
+    node.size = end;
+    if (options_.store_data) node.data.resize(static_cast<std::size_t>(end), 0);
+  }
+  if (options_.store_data) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      node.data[static_cast<std::size_t>(of.offset + i)] =
+          static_cast<std::uint8_t>((of.offset + i) & 0xff);
+    }
+  }
+  of.offset += count;
+  ++node.write_ops;
+  node.bytes_written += count;
+  node.modified_at = now();
+  return count;
+}
+
+Result<std::uint64_t> SimulatedFileSystem::write_bytes(Fd fd,
+                                                       const std::vector<std::uint8_t>& data) {
+  const auto d = descriptor(fd);
+  if (!d.ok()) return d.status();
+  OpenFile& of = *d.value();
+  if ((of.flags & kWrite) == 0) return FsStatus::not_permitted;
+  Inode& node = inode_ref(of.inode);
+  if (node.kind == FileKind::directory) return FsStatus::is_a_directory;
+  if ((of.flags & kAppend) != 0) of.offset = node.size;
+  const std::uint64_t count = data.size();
+  const std::uint64_t end = of.offset + count;
+  if (end > node.size) {
+    const FsStatus space = grow_check(end - node.size);
+    if (space != FsStatus::ok) return space;
+    bytes_in_use_ += end - node.size;
+    node.size = end;
+    if (options_.store_data) node.data.resize(static_cast<std::size_t>(end), 0);
+  }
+  if (options_.store_data) {
+    std::copy(data.begin(), data.end(), node.data.begin() + static_cast<std::ptrdiff_t>(of.offset));
+  }
+  of.offset += count;
+  ++node.write_ops;
+  node.bytes_written += count;
+  node.modified_at = now();
+  return count;
+}
+
+Result<std::uint64_t> SimulatedFileSystem::lseek(Fd fd, std::int64_t offset, Seek whence) {
+  const auto d = descriptor(fd);
+  if (!d.ok()) return d.status();
+  OpenFile& of = *d.value();
+  const Inode& node = inode_ref(of.inode);
+  std::int64_t base = 0;
+  switch (whence) {
+    case Seek::set: base = 0; break;
+    case Seek::cur: base = static_cast<std::int64_t>(of.offset); break;
+    case Seek::end: base = static_cast<std::int64_t>(node.size); break;
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) return FsStatus::invalid_argument;
+  of.offset = static_cast<std::uint64_t>(target);
+  return of.offset;
+}
+
+FsStatus SimulatedFileSystem::unlink(const std::string& path) {
+  std::string leaf;
+  const Result<InodeId> parent = resolve_parent(path, leaf);
+  if (!parent.ok()) return parent.status();
+  Inode& dir = inode_ref(parent.value());
+  const auto it = dir.children.find(leaf);
+  if (it == dir.children.end()) return FsStatus::not_found;
+  Inode& node = inode_ref(it->second);
+  if (node.kind == FileKind::directory) return FsStatus::is_a_directory;
+  const InodeId id = it->second;
+  remove_child(dir, leaf);
+  if (node.link_count == 0) throw std::logic_error("SimulatedFileSystem: link_count underflow");
+  --node.link_count;
+  maybe_collect(id);
+  return FsStatus::ok;
+}
+
+FsStatus SimulatedFileSystem::link(const std::string& existing, const std::string& link_path) {
+  const Result<InodeId> found = resolve(existing);
+  if (!found.ok()) return found.status();
+  Inode& node = inode_ref(found.value());
+  if (node.kind == FileKind::directory) return FsStatus::is_a_directory;  // as POSIX EPERM-ish
+  std::string leaf;
+  const Result<InodeId> parent = resolve_parent(link_path, leaf);
+  if (!parent.ok()) return parent.status();
+  Inode& dir = inode_ref(parent.value());
+  if (dir.children.count(leaf) != 0) return FsStatus::already_exists;
+  add_child(dir, leaf, node.id);
+  ++node.link_count;
+  return FsStatus::ok;
+}
+
+FsStatus SimulatedFileSystem::mkdir(const std::string& path) {
+  std::string leaf;
+  const Result<InodeId> parent = resolve_parent(path, leaf);
+  if (!parent.ok()) return parent.status();
+  Inode& dir = inode_ref(parent.value());
+  if (dir.children.count(leaf) != 0) return FsStatus::already_exists;
+  Inode node;
+  node.id = next_inode_++;
+  node.kind = FileKind::directory;
+  node.link_count = 1;
+  node.created_at = node.modified_at = node.accessed_at = now();
+  const InodeId id = node.id;
+  inodes_.emplace(id, std::move(node));
+  add_child(dir, leaf, id);
+  return FsStatus::ok;
+}
+
+FsStatus SimulatedFileSystem::mkdir_recursive(const std::string& path) {
+  std::vector<std::string> parts;
+  if (!split_path(path, parts)) return FsStatus::invalid_argument;
+  std::string prefix;
+  for (const auto& piece : parts) {
+    prefix += '/';
+    prefix += piece;
+    const FsStatus st = mkdir(prefix);
+    if (st == FsStatus::ok || st == FsStatus::already_exists) continue;
+    return st;
+  }
+  return FsStatus::ok;
+}
+
+FsStatus SimulatedFileSystem::rmdir(const std::string& path) {
+  std::string leaf;
+  const Result<InodeId> parent = resolve_parent(path, leaf);
+  if (!parent.ok()) return parent.status();
+  Inode& dir = inode_ref(parent.value());
+  const auto it = dir.children.find(leaf);
+  if (it == dir.children.end()) return FsStatus::not_found;
+  Inode& node = inode_ref(it->second);
+  if (node.kind != FileKind::directory) return FsStatus::not_a_directory;
+  if (!node.children.empty()) return FsStatus::directory_not_empty;
+  const InodeId id = it->second;
+  remove_child(dir, leaf);
+  --node.link_count;
+  maybe_collect(id);
+  return FsStatus::ok;
+}
+
+FsStatus SimulatedFileSystem::rename(const std::string& from, const std::string& to) {
+  std::string from_leaf;
+  const Result<InodeId> from_parent = resolve_parent(from, from_leaf);
+  if (!from_parent.ok()) return from_parent.status();
+  const auto from_it = inode_ref(from_parent.value()).children.find(from_leaf);
+  if (from_it == inode_ref(from_parent.value()).children.end()) return FsStatus::not_found;
+  const InodeId moving = from_it->second;
+
+  // A directory must not be moved into its own subtree.
+  if (inode_ref(moving).kind == FileKind::directory) {
+    std::vector<std::string> from_parts, to_parts;
+    split_path(from, from_parts);
+    split_path(to, to_parts);
+    if (to_parts.size() >= from_parts.size() &&
+        std::equal(from_parts.begin(), from_parts.end(), to_parts.begin())) {
+      return FsStatus::invalid_argument;
+    }
+  }
+
+  std::string to_leaf;
+  const Result<InodeId> to_parent = resolve_parent(to, to_leaf);
+  if (!to_parent.ok()) return to_parent.status();
+  Inode& dest_dir = inode_ref(to_parent.value());
+  const auto existing = dest_dir.children.find(to_leaf);
+  if (existing != dest_dir.children.end()) {
+    if (existing->second == moving) return FsStatus::ok;  // rename onto itself
+    Inode& target = inode_ref(existing->second);
+    if (target.kind == FileKind::directory) {
+      if (!target.children.empty()) return FsStatus::directory_not_empty;
+      if (inode_ref(moving).kind != FileKind::directory) return FsStatus::is_a_directory;
+    } else if (inode_ref(moving).kind == FileKind::directory) {
+      return FsStatus::not_a_directory;
+    }
+    const InodeId replaced = existing->second;
+    remove_child(dest_dir, to_leaf);
+    --inode_ref(replaced).link_count;
+    maybe_collect(replaced);
+  }
+  remove_child(inode_ref(from_parent.value()), from_leaf);
+  add_child(dest_dir, to_leaf, moving);
+  return FsStatus::ok;
+}
+
+Result<FileStat> SimulatedFileSystem::stat(const std::string& path) const {
+  const Result<InodeId> found = resolve(path);
+  if (!found.ok()) return found.status();
+  const Inode& node = inode_ref(found.value());
+  FileStat st;
+  st.inode = node.id;
+  st.kind = node.kind;
+  st.size = node.size;
+  st.link_count = node.link_count;
+  st.read_ops = node.read_ops;
+  st.write_ops = node.write_ops;
+  st.bytes_read = node.bytes_read;
+  st.bytes_written = node.bytes_written;
+  st.created_at = node.created_at;
+  st.modified_at = node.modified_at;
+  st.accessed_at = node.accessed_at;
+  return st;
+}
+
+Result<FileStat> SimulatedFileSystem::fstat(Fd fd) const {
+  const auto d = descriptor(fd);
+  if (!d.ok()) return d.status();
+  const Inode& node = inode_ref(d.value()->inode);
+  FileStat st;
+  st.inode = node.id;
+  st.kind = node.kind;
+  st.size = node.size;
+  st.link_count = node.link_count;
+  st.read_ops = node.read_ops;
+  st.write_ops = node.write_ops;
+  st.bytes_read = node.bytes_read;
+  st.bytes_written = node.bytes_written;
+  st.created_at = node.created_at;
+  st.modified_at = node.modified_at;
+  st.accessed_at = node.accessed_at;
+  return st;
+}
+
+FsStatus SimulatedFileSystem::truncate(const std::string& path, std::uint64_t size) {
+  const Result<InodeId> found = resolve(path);
+  if (!found.ok()) return found.status();
+  Inode& node = inode_ref(found.value());
+  if (node.kind == FileKind::directory) return FsStatus::is_a_directory;
+  if (size > node.size) {
+    const FsStatus space = grow_check(size - node.size);
+    if (space != FsStatus::ok) return space;
+    bytes_in_use_ += size - node.size;
+  } else {
+    bytes_in_use_ -= node.size - size;
+  }
+  node.size = size;
+  if (options_.store_data) node.data.resize(static_cast<std::size_t>(size), 0);
+  node.modified_at = now();
+  return FsStatus::ok;
+}
+
+Result<std::vector<std::string>> SimulatedFileSystem::readdir(const std::string& path) const {
+  const Result<InodeId> found = resolve(path);
+  if (!found.ok()) return found.status();
+  const Inode& node = inode_ref(found.value());
+  if (node.kind != FileKind::directory) return FsStatus::not_a_directory;
+  std::vector<std::string> names;
+  names.reserve(node.children.size());
+  for (const auto& [name, id] : node.children) names.push_back(name);
+  return names;  // std::map keeps them sorted
+}
+
+bool SimulatedFileSystem::exists(const std::string& path) const { return resolve(path).ok(); }
+
+Result<std::uint64_t> SimulatedFileSystem::tell(Fd fd) const {
+  const auto d = descriptor(fd);
+  if (!d.ok()) return d.status();
+  return d.value()->offset;
+}
+
+std::size_t SimulatedFileSystem::regular_file_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, node] : inodes_) {
+    if (node.kind == FileKind::regular && node.link_count > 0) ++n;
+  }
+  return n;
+}
+
+std::size_t SimulatedFileSystem::directory_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, node] : inodes_) {
+    if (node.kind == FileKind::directory) ++n;
+  }
+  return n;
+}
+
+}  // namespace wlgen::fs

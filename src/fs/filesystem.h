@@ -1,0 +1,212 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/path.h"
+#include "fs/status.h"
+
+namespace wlgen::fs {
+
+/// Inode number; root is always inode 1.
+using InodeId = std::uint64_t;
+
+/// File descriptor handle (>= 0 when valid).
+using Fd = int;
+
+/// Kind of an inode.
+enum class FileKind { regular, directory };
+
+/// Open flags, OR-able.  Mirrors the UNIX open(2) surface the paper's USIM
+/// drives ("the interface in UNIX systems appears in the form of system
+/// calls, e.g., open, read" — section 3.1.2).
+enum OpenFlags : unsigned {
+  kRead = 1u << 0,      ///< allow read()
+  kWrite = 1u << 1,     ///< allow write()
+  kCreate = 1u << 2,    ///< create if missing
+  kTruncate = 1u << 3,  ///< truncate to zero on open
+  kAppend = 1u << 4,    ///< position at EOF before every write
+};
+
+/// stat(2)-style metadata snapshot.
+struct FileStat {
+  InodeId inode = 0;
+  FileKind kind = FileKind::regular;
+  std::uint64_t size = 0;
+  std::uint32_t link_count = 0;
+  std::uint64_t read_ops = 0;    ///< lifetime read() calls touching the inode
+  std::uint64_t write_ops = 0;   ///< lifetime write() calls touching the inode
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  double created_at = 0.0;       ///< simulated time, microseconds
+  double modified_at = 0.0;
+  double accessed_at = 0.0;
+};
+
+/// lseek whence.
+enum class Seek { set, cur, end };
+
+/// In-memory file system with UNIX semantics.
+///
+/// Period-accurate details the workload depends on: directories carry a real
+/// size (the sum of their entry records, 16 bytes + name length each, as in
+/// the old UFS on-disk format), and read(2) on a directory is permitted —
+/// 4.xBSD, the system the paper's characterisation was measured on, allowed
+/// exactly that, and the paper "treats directories as special files"
+/// (section 4.1.2).
+///
+/// This substrate substitutes for the real file system the paper's generator
+/// drives: "a new file system is created to which file I/O is directed"
+/// (section 4.1) so existing files are never modified.  Here the *entire*
+/// file system is the new one, held in memory.  Semantics kept faithfully:
+/// byte-granular sizes, read truncation at EOF (the cause of Table 5.3's
+/// measured mean access size < the 1024-byte input mean), open-before-read,
+/// POSIX unlink-while-open lifetime, and directory tree behaviour.
+///
+/// Timing intentionally lives elsewhere (fsmodel): this class answers *what
+/// happens*, the models answer *how long it takes*.
+class SimulatedFileSystem {
+ public:
+  struct Options {
+    /// When true, file contents are stored and verified (tests); when false
+    /// only sizes are tracked, keeping big experiments cheap.
+    bool store_data = false;
+    /// Total byte capacity (0 = unlimited).
+    std::uint64_t capacity_bytes = 0;
+    /// Max simultaneously open descriptors.
+    std::size_t max_open_files = 4096;
+    /// Max length of a single path component.
+    std::size_t max_name_length = 255;
+  };
+
+  SimulatedFileSystem();
+  explicit SimulatedFileSystem(Options options);
+
+  /// Supplies a simulated-clock source for inode timestamps (defaults to 0).
+  void set_clock(std::function<double()> clock);
+
+  // --- system-call surface -------------------------------------------------
+
+  /// Opens a file.  kCreate creates missing regular files; opening a
+  /// directory is allowed read-only (for readdir-style traversal).
+  Result<Fd> open(const std::string& path, unsigned flags);
+
+  /// creat(2): open with kWrite|kCreate|kTruncate.
+  Result<Fd> creat(const std::string& path);
+
+  /// Closes a descriptor.
+  FsStatus close(Fd fd);
+
+  /// Reads up to `count` bytes at the descriptor offset; returns the number
+  /// actually read (truncated at EOF) and advances the offset.
+  Result<std::uint64_t> read(Fd fd, std::uint64_t count);
+
+  /// Reads and returns stored bytes (requires store_data).
+  Result<std::vector<std::uint8_t>> read_bytes(Fd fd, std::uint64_t count);
+
+  /// Writes `count` synthetic bytes at the offset, growing the file as
+  /// needed; returns bytes written and advances the offset.
+  Result<std::uint64_t> write(Fd fd, std::uint64_t count);
+
+  /// Writes real bytes (stored when store_data is on).
+  Result<std::uint64_t> write_bytes(Fd fd, const std::vector<std::uint8_t>& data);
+
+  /// Repositions the descriptor offset; returns the new offset.
+  Result<std::uint64_t> lseek(Fd fd, std::int64_t offset, Seek whence);
+
+  /// Removes a directory entry; the inode survives while still open.
+  FsStatus unlink(const std::string& path);
+
+  /// link(2): creates a second directory entry for an existing regular file.
+  FsStatus link(const std::string& existing, const std::string& link_path);
+
+  /// Creates a directory (parents must exist).
+  FsStatus mkdir(const std::string& path);
+
+  /// Creates all missing ancestors then the directory itself.
+  FsStatus mkdir_recursive(const std::string& path);
+
+  /// Removes an empty directory.
+  FsStatus rmdir(const std::string& path);
+
+  /// Renames/moves a file or directory.  Refuses to move a directory into
+  /// its own subtree.
+  FsStatus rename(const std::string& from, const std::string& to);
+
+  /// Metadata by path.
+  Result<FileStat> stat(const std::string& path) const;
+
+  /// Metadata by descriptor.
+  Result<FileStat> fstat(Fd fd) const;
+
+  /// Truncates (or zero-extends) a file to `size`.
+  FsStatus truncate(const std::string& path, std::uint64_t size);
+
+  /// Names in a directory, sorted.
+  Result<std::vector<std::string>> readdir(const std::string& path) const;
+
+  /// True when the path resolves.
+  bool exists(const std::string& path) const;
+
+  /// Current descriptor offset (for tests).
+  Result<std::uint64_t> tell(Fd fd) const;
+
+  // --- introspection -------------------------------------------------------
+
+  std::uint64_t bytes_in_use() const { return bytes_in_use_; }
+  std::size_t regular_file_count() const;
+  std::size_t directory_count() const;
+  std::size_t open_descriptor_count() const { return open_files_.size(); }
+  std::size_t inode_count() const { return inodes_.size(); }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Inode {
+    InodeId id = 0;
+    FileKind kind = FileKind::regular;
+    std::uint64_t size = 0;
+    std::uint32_t link_count = 0;
+    std::uint32_t open_count = 0;
+    std::uint64_t read_ops = 0;
+    std::uint64_t write_ops = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    double created_at = 0.0;
+    double modified_at = 0.0;
+    double accessed_at = 0.0;
+    std::vector<std::uint8_t> data;           // only when store_data
+    std::map<std::string, InodeId> children;  // only for directories
+  };
+
+  struct OpenFile {
+    InodeId inode = 0;
+    std::uint64_t offset = 0;
+    unsigned flags = 0;
+  };
+
+  double now() const { return clock_ ? clock_() : 0.0; }
+  void add_child(Inode& dir, const std::string& name, InodeId id);
+  void remove_child(Inode& dir, const std::string& name);
+  Inode& inode_ref(InodeId id);
+  const Inode& inode_ref(InodeId id) const;
+  Result<InodeId> resolve(const std::string& path) const;
+  Result<InodeId> resolve_parent(const std::string& path, std::string& leaf) const;
+  void maybe_collect(InodeId id);
+  FsStatus grow_check(std::uint64_t extra) const;
+  Result<OpenFile*> descriptor(Fd fd);
+  Result<const OpenFile*> descriptor(Fd fd) const;
+
+  Options options_;
+  std::function<double()> clock_;
+  std::unordered_map<InodeId, Inode> inodes_;
+  std::unordered_map<Fd, OpenFile> open_files_;
+  InodeId next_inode_ = 2;  // 1 is the root
+  Fd next_fd_ = 3;          // mimic stdin/stdout/stderr being taken
+  std::uint64_t bytes_in_use_ = 0;
+};
+
+}  // namespace wlgen::fs

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wlgen::fs {
+
+/// Splits an absolute path into components, resolving "." and ".." lexically
+/// ("/a/./b/../c" -> {"a","c"}).  Returns false for non-absolute or empty
+/// paths; ".." above the root clamps at the root, as POSIX does.
+bool split_path(std::string_view path, std::vector<std::string>& components);
+
+/// Joins components back into a canonical absolute path ("/" for empty).
+std::string join_path(const std::vector<std::string>& components);
+
+/// Parent of a canonical absolute path ("/a/b" -> "/a", "/a" -> "/").
+std::string parent_path(std::string_view path);
+
+/// Final component ("/a/b" -> "b"); empty for "/".
+std::string base_name(std::string_view path);
+
+}  // namespace wlgen::fs

@@ -1,0 +1,28 @@
+#include "fsmodel/disk.h"
+
+#include <stdexcept>
+
+namespace wlgen::fsmodel {
+
+DiskModel::DiskModel(DiskParams params) : params_(params) {
+  if (params_.transfer_bytes_per_us <= 0.0) {
+    throw std::invalid_argument("DiskModel: transfer rate must be > 0");
+  }
+  if (params_.avg_seek_us < 0.0 || params_.avg_rotation_us < 0.0 || params_.metadata_io_us < 0.0) {
+    throw std::invalid_argument("DiskModel: negative timing parameter");
+  }
+}
+
+double DiskModel::io_time_us(std::uint64_t bytes) const {
+  return params_.avg_seek_us + params_.avg_rotation_us +
+         static_cast<double>(bytes) / params_.transfer_bytes_per_us;
+}
+
+double DiskModel::metadata_time_us() const { return params_.metadata_io_us; }
+
+double DiskModel::sequential_io_time_us(std::uint64_t bytes) const {
+  return 0.5 * params_.avg_rotation_us +
+         static_cast<double>(bytes) / params_.transfer_bytes_per_us;
+}
+
+}  // namespace wlgen::fsmodel

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+namespace wlgen::fsmodel {
+
+/// Service-time model of a late-1980s SCSI disk of the class behind the
+/// paper's SUN 4/490 file server.  Service time = seek + rotation + transfer;
+/// the values below give ~20 ms per 8 KiB block, consistent with the
+/// hardware of the paper's testbed era.
+struct DiskParams {
+  double avg_seek_us = 12000.0;        ///< average seek
+  double avg_rotation_us = 8300.0;     ///< half-revolution at 3600 rpm
+  double transfer_bytes_per_us = 1.0;  ///< ~1 MB/s media rate
+  double metadata_io_us = 6000.0;      ///< short inode/indirect-block I/O
+};
+
+/// Deterministic per-request service time; variability in observed response
+/// times comes from queueing and cache hit/miss mixtures, not from the disk
+/// itself, which keeps experiments reproducible.
+class DiskModel {
+ public:
+  explicit DiskModel(DiskParams params = {});
+
+  /// Full seek + rotation + transfer for `bytes` of payload.
+  double io_time_us(std::uint64_t bytes) const;
+
+  /// Metadata (inode / directory block) service time.
+  double metadata_time_us() const;
+
+  /// Sequential follow-on transfer (no seek, half rotation) for readahead.
+  double sequential_io_time_us(std::uint64_t bytes) const;
+
+  const DiskParams& params() const { return params_; }
+
+ private:
+  DiskParams params_;
+};
+
+}  // namespace wlgen::fsmodel

@@ -1,0 +1,62 @@
+#include "fsmodel/lru_cache.h"
+
+namespace wlgen::fsmodel {
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("LruCache: capacity must be >= 1");
+}
+
+bool LruCache::access(std::uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  order_.splice(order_.begin(), order_, it->second);
+  return true;
+}
+
+bool LruCache::contains(std::uint64_t key) const { return index_.count(key) != 0; }
+
+bool LruCache::insert(std::uint64_t key) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return false;
+  }
+  bool evicted = false;
+  if (index_.size() >= capacity_) {
+    const std::uint64_t victim = order_.back();
+    order_.pop_back();
+    index_.erase(victim);
+    evicted = true;
+  }
+  order_.push_front(key);
+  index_.emplace(key, order_.begin());
+  return evicted;
+}
+
+void LruCache::erase(std::uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+void LruCache::clear() {
+  order_.clear();
+  index_.clear();
+}
+
+double LruCache::hit_ratio() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void LruCache::reset_stats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace wlgen::fsmodel

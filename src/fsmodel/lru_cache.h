@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace wlgen::fsmodel {
+
+/// Fixed-capacity LRU set keyed by 64-bit ids (block keys, inode numbers).
+/// Used for the NFS client block/attribute caches and the server buffer
+/// cache; the hit/miss counters feed the model statistics.
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity);
+
+  /// Looks up `key`; a hit refreshes recency.  Counted in the statistics.
+  bool access(std::uint64_t key);
+
+  /// True when present, without updating recency or statistics.
+  bool contains(std::uint64_t key) const;
+
+  /// Inserts (or refreshes) `key`, evicting the least recently used entry
+  /// when at capacity.  Returns true when an eviction happened.
+  bool insert(std::uint64_t key);
+
+  /// Removes a key if present (e.g. invalidation after unlink).
+  void erase(std::uint64_t key);
+
+  /// Drops everything.
+  void clear();
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  /// hits / (hits + misses); 0 when no accesses were made.
+  double hit_ratio() const;
+
+  void reset_stats();
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> order_;  // most recent at front
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace wlgen::fsmodel

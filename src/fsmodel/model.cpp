@@ -1,0 +1,23 @@
+#include "fsmodel/model.h"
+
+namespace wlgen::fsmodel {
+
+const char* to_string(FsOpType type) {
+  switch (type) {
+    case FsOpType::open: return "open";
+    case FsOpType::close: return "close";
+    case FsOpType::read: return "read";
+    case FsOpType::write: return "write";
+    case FsOpType::creat: return "creat";
+    case FsOpType::unlink: return "unlink";
+    case FsOpType::stat: return "stat";
+    case FsOpType::lseek: return "lseek";
+    case FsOpType::mkdir: return "mkdir";
+    case FsOpType::readdir: return "readdir";
+  }
+  return "unknown";
+}
+
+bool is_data_op(FsOpType type) { return type == FsOpType::read || type == FsOpType::write; }
+
+}  // namespace wlgen::fsmodel

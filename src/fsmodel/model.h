@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/stages.h"
+
+namespace wlgen::fsmodel {
+
+/// File I/O system calls at the level the paper models workload: "we chose
+/// kernel level (or system call level in UNIX systems) as the appropriate
+/// level at which to model the workload" (section 3.1.2).
+enum class FsOpType {
+  open,
+  close,
+  read,
+  write,
+  creat,
+  unlink,
+  stat,
+  lseek,
+  mkdir,
+  readdir,
+};
+
+/// Name of an op type ("open", "read", ...).
+const char* to_string(FsOpType type);
+
+/// True for the calls that move file data (read/write); these are the calls
+/// whose access size Table 5.3 characterises.
+bool is_data_op(FsOpType type);
+
+/// A system call as seen by a performance model.  The logical outcome (how
+/// many bytes exist, whether the path resolves) is decided by
+/// fs::SimulatedFileSystem; models only need the identifiers and sizes to
+/// drive caches and to size transfers.
+struct FsOp {
+  FsOpType type = FsOpType::read;
+  std::uint64_t file_id = 0;    ///< inode id; keys the caches
+  std::uint64_t offset = 0;     ///< starting byte offset (read/write)
+  std::uint64_t size = 0;       ///< bytes moved (read/write) or dir size hint
+  std::uint64_t file_size = 0;  ///< current file size (whole-file transfers)
+  std::uint32_t client = 0;     ///< issuing workstation (multi-client models)
+};
+
+/// A file-system performance model: compiles each system call into a chain
+/// of delay/resource stages whose execution time is the call's response
+/// time.  Implementations correspond to the systems the paper measures or
+/// proposes comparing (section 5.3): SUN NFS, a local-disk UNIX file system,
+/// and an Andrew-style whole-file-caching distributed file system.
+///
+/// Models mutate their cache state at plan time.  Two back-to-back plans of
+/// the same block therefore see a warm cache even if the first fetch is
+/// still in flight — a deliberate simplification (real clients block the
+/// second reader on the in-flight fetch, with similar aggregate latency).
+class FileSystemModel {
+ public:
+  virtual ~FileSystemModel() = default;
+
+  /// Compiles one system call into a stage chain and updates model state.
+  virtual sim::StageChain plan(const FsOp& op) = 0;
+
+  /// Model name for reports ("nfs", "local", "wholefile").
+  virtual std::string name() const = 0;
+
+  /// Multi-line human-readable statistics (cache ratios, utilisations).
+  virtual std::string stats_summary() const = 0;
+
+  /// Resets statistical counters (cache contents are kept).
+  virtual void reset_stats() = 0;
+};
+
+}  // namespace wlgen::fsmodel

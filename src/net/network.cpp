@@ -1,0 +1,28 @@
+#include "net/network.h"
+
+#include <stdexcept>
+
+namespace wlgen::net {
+
+Network::Network(sim::Simulation& sim, NetworkParams params, std::string name)
+    : params_(params), medium_(sim, std::move(name), 1) {
+  if (params_.latency_us < 0.0) throw std::invalid_argument("Network: negative latency");
+  if (params_.bandwidth_bytes_per_us <= 0.0) {
+    throw std::invalid_argument("Network: bandwidth must be > 0");
+  }
+}
+
+double Network::transmission_time_us(std::uint64_t payload_bytes) const {
+  const double total_bytes =
+      static_cast<double>(payload_bytes + params_.per_message_overhead_bytes);
+  return total_bytes / params_.bandwidth_bytes_per_us;
+}
+
+void Network::append_message_stages(sim::StageChain& chain, std::uint64_t payload_bytes) {
+  ++messages_;
+  payload_bytes_ += payload_bytes;
+  chain.push_back(sim::Stage::make_use(medium_, transmission_time_us(payload_bytes)));
+  if (params_.latency_us > 0.0) chain.push_back(sim::Stage::make_delay(params_.latency_us));
+}
+
+}  // namespace wlgen::net

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "sim/stages.h"
+
+namespace wlgen::net {
+
+/// Parameters of a shared-medium LAN in the style of the paper's testbed
+/// (10 Mbit/s Ethernet between a SUN 3/50 client and a SUN 4/490 server).
+struct NetworkParams {
+  /// One-way propagation + protocol latency per message, microseconds.
+  double latency_us = 200.0;
+  /// Transmission rate in bytes per microsecond (10 Mbit/s ~ 1.25 B/us).
+  double bandwidth_bytes_per_us = 1.25;
+  /// Fixed per-message framing overhead in bytes (headers, RPC envelope).
+  std::uint64_t per_message_overhead_bytes = 160;
+};
+
+/// A shared network medium.  Transmission time contends on the medium (a
+/// single-capacity resource, like one Ethernet segment); propagation latency
+/// does not.  Models append stages for a full message with
+/// `append_message_stages`.
+class Network {
+ public:
+  Network(sim::Simulation& sim, NetworkParams params, std::string name = "net");
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Microseconds the medium is held to transmit `payload_bytes`.
+  double transmission_time_us(std::uint64_t payload_bytes) const;
+
+  /// Appends [use(medium, transmit), delay(latency)] stages for one message.
+  void append_message_stages(sim::StageChain& chain, std::uint64_t payload_bytes);
+
+  /// Total messages transmitted.
+  std::uint64_t messages_sent() const { return messages_; }
+
+  /// Total payload bytes transmitted (excludes framing overhead).
+  std::uint64_t payload_bytes_sent() const { return payload_bytes_; }
+
+  const NetworkParams& params() const { return params_; }
+  sim::Resource& medium() { return medium_; }
+  const sim::Resource& medium() const { return medium_; }
+
+ private:
+  NetworkParams params_;
+  sim::Resource medium_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+};
+
+}  // namespace wlgen::net

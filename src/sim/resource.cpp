@@ -1,0 +1,82 @@
+#include "sim/resource.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wlgen::sim {
+
+Resource::Resource(Simulation& sim, std::string name, std::size_t capacity)
+    : sim_(sim), name_(std::move(name)), capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("Resource: capacity must be >= 1");
+  stats_start_ = last_change_ = sim_.now();
+}
+
+void Resource::integrate_to_now() {
+  const SimTime dt = sim_.now() - last_change_;
+  if (dt > 0.0) {
+    busy_integral_ += dt * static_cast<double>(busy_);
+    queue_integral_ += dt * static_cast<double>(waiting_.size());
+    last_change_ = sim_.now();
+  }
+}
+
+void Resource::use(SimTime service_time, std::function<void()> on_complete) {
+  if (service_time < 0.0) throw std::invalid_argument("Resource::use: negative service time");
+  if (!on_complete) throw std::invalid_argument("Resource::use: empty completion");
+  integrate_to_now();
+  if (busy_ < capacity_) {
+    start_service(Pending{service_time, std::move(on_complete)});
+  } else {
+    waiting_.push_back(Pending{service_time, std::move(on_complete)});
+  }
+}
+
+void Resource::start_service(Pending request) {
+  ++busy_;
+  auto cb = std::move(request.on_complete);
+  sim_.schedule(request.service_time,
+                [this, cb = std::move(cb)]() mutable { on_service_done(std::move(cb)); });
+}
+
+void Resource::on_service_done(std::function<void()> on_complete) {
+  integrate_to_now();
+  --busy_;
+  ++completed_;
+  if (!waiting_.empty()) {
+    Pending next = std::move(waiting_.front());
+    waiting_.pop_front();
+    start_service(std::move(next));
+  }
+  // Run the completion after dequeueing the successor so a completion that
+  // immediately re-enters use() observes a consistent queue.
+  on_complete();
+}
+
+double Resource::utilization() const {
+  const SimTime elapsed = sim_.now() - stats_start_;
+  if (elapsed <= 0.0) return 0.0;
+  double integral = busy_integral_;
+  integral += (sim_.now() - last_change_) * static_cast<double>(busy_);
+  return integral / (elapsed * static_cast<double>(capacity_));
+}
+
+double Resource::mean_queue_length() const {
+  const SimTime elapsed = sim_.now() - stats_start_;
+  if (elapsed <= 0.0) return 0.0;
+  double integral = queue_integral_;
+  integral += (sim_.now() - last_change_) * static_cast<double>(waiting_.size());
+  return integral / elapsed;
+}
+
+SimTime Resource::busy_time() const {
+  return busy_integral_ + (sim_.now() - last_change_) * static_cast<double>(busy_);
+}
+
+void Resource::reset_stats() {
+  completed_ = 0;
+  busy_integral_ = 0.0;
+  queue_integral_ = 0.0;
+  stats_start_ = last_change_ = sim_.now();
+}
+
+}  // namespace wlgen::sim

@@ -1,0 +1,47 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wlgen::sim {
+
+void Simulation::schedule(SimTime delay, std::function<void()> action) {
+  if (delay < 0.0) throw std::invalid_argument("Simulation::schedule: negative delay");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulation::schedule_at(SimTime when, std::function<void()> action) {
+  if (when < now_) throw std::invalid_argument("Simulation::schedule_at: time in the past");
+  if (!action) throw std::invalid_argument("Simulation::schedule_at: empty action");
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+void Simulation::run(std::size_t max_events) {
+  while (!queue_.empty()) {
+    if (max_events != 0 && processed_ >= max_events) {
+      throw std::runtime_error("Simulation::run: event budget exhausted (possible livelock)");
+    }
+    // priority_queue::top returns const&; move out via const_cast-free copy of
+    // the small struct members and pop before running so the action can
+    // schedule freely.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++processed_;
+    ev.action();
+  }
+}
+
+void Simulation::run_until(SimTime t) {
+  if (t < now_) throw std::invalid_argument("Simulation::run_until: time in the past");
+  while (!queue_.empty() && queue_.top().when <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++processed_;
+    ev.action();
+  }
+  now_ = t;
+}
+
+}  // namespace wlgen::sim

@@ -1,0 +1,62 @@
+#include "sim/stages.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace wlgen::sim {
+
+Stage Stage::make_delay(SimTime duration) {
+  if (duration < 0.0) throw std::invalid_argument("Stage::make_delay: negative duration");
+  return Stage{Kind::delay, nullptr, duration};
+}
+
+Stage Stage::make_use(Resource& resource, SimTime service_time) {
+  if (service_time < 0.0) throw std::invalid_argument("Stage::make_use: negative service time");
+  return Stage{Kind::use, &resource, service_time};
+}
+
+SimTime chain_service_demand(const StageChain& chain) {
+  SimTime total = 0.0;
+  for (const auto& s : chain) total += s.duration;
+  return total;
+}
+
+namespace {
+
+struct ChainState {
+  Simulation& sim;
+  StageChain chain;
+  std::function<void(SimTime)> done;
+  SimTime start;
+};
+
+void run_stage(const std::shared_ptr<ChainState>& state, std::size_t index) {
+  if (index >= state->chain.size()) {
+    state->done(state->sim.now() - state->start);
+    return;
+  }
+  const Stage& stage = state->chain[index];
+  auto continuation = [state, index]() { run_stage(state, index + 1); };
+  switch (stage.kind) {
+    case Stage::Kind::delay:
+      state->sim.schedule(stage.duration, std::move(continuation));
+      break;
+    case Stage::Kind::use:
+      if (stage.resource == nullptr) {
+        throw std::logic_error("execute_chain: use stage without resource");
+      }
+      stage.resource->use(stage.duration, std::move(continuation));
+      break;
+  }
+}
+
+}  // namespace
+
+void execute_chain(Simulation& sim, StageChain chain, std::function<void(SimTime)> done) {
+  if (!done) throw std::invalid_argument("execute_chain: empty completion");
+  auto state = std::make_shared<ChainState>(ChainState{sim, std::move(chain), std::move(done), sim.now()});
+  run_stage(state, 0);
+}
+
+}  // namespace wlgen::sim

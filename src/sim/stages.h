@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simulation.h"
+
+namespace wlgen::sim {
+
+/// One step of a modelled operation: either a pure delay (no contention, e.g.
+/// network propagation or a cache-hit copy) or the use of a contended
+/// resource (disk, CPU, shared network medium).
+struct Stage {
+  enum class Kind { delay, use };
+
+  Kind kind = Kind::delay;
+  Resource* resource = nullptr;  ///< required when kind == use
+  SimTime duration = 0.0;        ///< delay length or service demand, in µs
+
+  static Stage make_delay(SimTime duration);
+  static Stage make_use(Resource& resource, SimTime service_time);
+};
+
+/// A compiled operation: an ordered chain of stages.  File-system models
+/// (fsmodel) compile each system call into one of these; the executor walks
+/// the chain and reports the total elapsed (queueing + service) time, which
+/// is exactly the paper's per-syscall response time.
+using StageChain = std::vector<Stage>;
+
+/// Total service demand of a chain (ignores queueing).
+SimTime chain_service_demand(const StageChain& chain);
+
+/// Executes the chain starting now; calls `done(elapsed_us)` when the last
+/// stage finishes.  Many chains may be in flight concurrently.
+void execute_chain(Simulation& sim, StageChain chain, std::function<void(SimTime)> done);
+
+}  // namespace wlgen::sim

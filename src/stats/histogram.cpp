@@ -1,0 +1,73 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wlgen::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: need hi > lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  counts_.assign(bins, 0.0);
+}
+
+Histogram Histogram::from_data(const std::vector<double>& data, std::size_t bins) {
+  if (data.empty()) throw std::invalid_argument("Histogram::from_data: empty data");
+  const auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+  double lo = *mn;
+  double hi = *mx;
+  if (hi <= lo) hi = lo + 1.0;
+  Histogram h(lo, hi, bins);
+  h.add_all(data);
+  return h;
+}
+
+void Histogram::add(double x) {
+  const double w = bin_width();
+  long long idx = static_cast<long long>(std::floor((x - lo_) / w));
+  idx = std::clamp<long long>(idx, 0, static_cast<long long>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += 1.0;
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& data) {
+  for (double v : data) add(v);
+}
+
+double Histogram::bin_width() const { return (hi_ - lo_) / static_cast<double>(counts_.size()); }
+
+void Histogram::set_counts(std::vector<double> counts) {
+  if (counts.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::set_counts: size mismatch");
+  }
+  counts_ = std::move(counts);
+}
+
+std::vector<double> Histogram::edges() const {
+  std::vector<double> out(counts_.size() + 1);
+  const double w = bin_width();
+  for (std::size_t i = 0; i <= counts_.size(); ++i) out[i] = lo_ + w * static_cast<double>(i);
+  return out;
+}
+
+std::vector<double> Histogram::centers() const {
+  std::vector<double> out(counts_.size());
+  const double w = bin_width();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = lo_ + w * (static_cast<double>(i) + 0.5);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> out = counts_;
+  double mass = 0.0;
+  for (double c : out) mass += c;
+  const double w = bin_width();
+  if (mass <= 0.0 || w <= 0.0) return out;
+  for (auto& c : out) c /= mass * w;
+  return out;
+}
+
+}  // namespace wlgen::stats

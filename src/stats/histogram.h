@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wlgen::stats {
+
+/// Equal-width histogram over [lo, hi) with out-of-range clamping to the edge
+/// bins.  This is the structure behind the paper's Figures 5.3–5.5 (count vs
+/// value histograms of per-session usage measures).
+class Histogram {
+ public:
+  /// bins >= 1 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Builds a histogram spanning [min(data), max(data)] with the given bins.
+  static Histogram from_data(const std::vector<double>& data, std::size_t bins);
+
+  /// Adds one observation (clamped into the edge bins).
+  void add(double x);
+
+  /// Adds all observations.
+  void add_all(const std::vector<double>& data);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double low() const { return lo_; }
+  double high() const { return hi_; }
+  double bin_width() const;
+  std::size_t total() const { return total_; }
+
+  /// Raw per-bin counts.
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// Replaces the counts (used after smoothing); size must match.
+  void set_counts(std::vector<double> counts);
+
+  /// bins+1 bin edges.
+  std::vector<double> edges() const;
+
+  /// Bin centres.
+  std::vector<double> centers() const;
+
+  /// Density estimate: counts normalised so the histogram integrates to one.
+  std::vector<double> density() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace wlgen::stats

@@ -1,0 +1,75 @@
+#include "stats/smoothing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wlgen::stats {
+
+std::vector<double> moving_average(const std::vector<double>& values, std::size_t window) {
+  if (window == 0) throw std::invalid_argument("moving_average: window must be >= 1");
+  if (window % 2 == 0) ++window;
+  const std::size_t half = window / 2;
+  std::vector<double> out(values.size(), 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(values.size() - 1, i + half);
+    double sum = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) sum += values[j];
+    out[i] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> gaussian_smooth(const std::vector<double>& values, double sigma_bins) {
+  if (sigma_bins <= 0.0) throw std::invalid_argument("gaussian_smooth: sigma must be > 0");
+  const long long radius = std::max<long long>(1, static_cast<long long>(std::ceil(3.0 * sigma_bins)));
+  std::vector<double> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double ksum = 0.0;
+  for (long long k = -radius; k <= radius; ++k) {
+    const double w = std::exp(-0.5 * (static_cast<double>(k) / sigma_bins) *
+                              (static_cast<double>(k) / sigma_bins));
+    kernel[static_cast<std::size_t>(k + radius)] = w;
+    ksum += w;
+  }
+  for (auto& w : kernel) w /= ksum;
+
+  std::vector<double> out(values.size(), 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    double acc = 0.0;
+    double used = 0.0;
+    for (long long k = -radius; k <= radius; ++k) {
+      const long long j = static_cast<long long>(i) + k;
+      if (j < 0 || j >= static_cast<long long>(values.size())) continue;
+      const double w = kernel[static_cast<std::size_t>(k + radius)];
+      acc += w * values[static_cast<std::size_t>(j)];
+      used += w;
+    }
+    out[i] = used > 0.0 ? acc / used : 0.0;
+  }
+  return out;
+}
+
+Histogram smooth_histogram(const Histogram& h, SmoothingKind kind, double parameter) {
+  std::vector<double> smoothed;
+  switch (kind) {
+    case SmoothingKind::moving_average:
+      smoothed = moving_average(h.counts(), static_cast<std::size_t>(std::max(1.0, parameter)));
+      break;
+    case SmoothingKind::gaussian:
+      smoothed = gaussian_smooth(h.counts(), parameter);
+      break;
+  }
+  // Renormalise so the smoothed histogram has the same total count.
+  double before = 0.0, after = 0.0;
+  for (double c : h.counts()) before += c;
+  for (double c : smoothed) after += c;
+  if (after > 0.0 && before > 0.0) {
+    for (auto& c : smoothed) c *= before / after;
+  }
+  Histogram out(h.low(), h.high(), h.bin_count());
+  out.set_counts(std::move(smoothed));
+  return out;
+}
+
+}  // namespace wlgen::stats

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace wlgen::stats {
+
+/// Centred moving average with the given (odd) window; edges use a shrunken
+/// window.  This is the "after smoothing" transform of paper Figures 5.3–5.5.
+std::vector<double> moving_average(const std::vector<double>& values, std::size_t window);
+
+/// Discrete Gaussian kernel smoothing with the given bandwidth in bins.
+std::vector<double> gaussian_smooth(const std::vector<double>& values, double sigma_bins);
+
+/// How histogram smoothing should be performed.
+enum class SmoothingKind { moving_average, gaussian };
+
+/// Returns a copy of the histogram with smoothed counts; total mass is
+/// renormalised to the original count so "count" axes remain comparable.
+Histogram smooth_histogram(const Histogram& h, SmoothingKind kind, double parameter);
+
+}  // namespace wlgen::stats

@@ -1,0 +1,85 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace wlgen::stats {
+
+void RunningSummary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningSummary::merge(const RunningSummary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double RunningSummary::mean() const {
+  if (count_ == 0) throw std::logic_error("RunningSummary::mean: no observations");
+  return mean_;
+}
+
+double RunningSummary::variance() const {
+  if (count_ == 0) throw std::logic_error("RunningSummary::variance: no observations");
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningSummary::stddev() const { return std::sqrt(variance()); }
+
+double RunningSummary::min() const {
+  if (count_ == 0) throw std::logic_error("RunningSummary::min: no observations");
+  return min_;
+}
+
+double RunningSummary::max() const {
+  if (count_ == 0) throw std::logic_error("RunningSummary::max: no observations");
+  return max_;
+}
+
+std::string RunningSummary::mean_std_string(int precision) const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f(%.*f)", precision, mean(), precision, stddev());
+  return buf;
+}
+
+RunningSummary summarize(const std::vector<double>& data) {
+  RunningSummary s;
+  for (double v : data) s.add(v);
+  return s;
+}
+
+double percentile(std::vector<double> data, double p) {
+  if (data.empty()) throw std::invalid_argument("percentile: empty data");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p outside [0,100]");
+  std::sort(data.begin(), data.end());
+  const double pos = p / 100.0 * static_cast<double>(data.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= data.size()) return data.back();
+  const double t = pos - static_cast<double>(lo);
+  return data[lo] + t * (data[lo + 1] - data[lo]);
+}
+
+}  // namespace wlgen::stats

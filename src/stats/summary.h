@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wlgen::stats {
+
+/// Online mean / variance / extrema accumulator (Welford's algorithm).
+///
+/// Used everywhere a paper table reports "mean(std)" — e.g. Table 5.3's
+/// access size and response time columns — without buffering every sample.
+class RunningSummary {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Merges another summary into this one (parallel Welford combination).
+  void merge(const RunningSummary& other);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  double mean() const;
+  /// Population variance (division by n).
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// "mean(std)" with the given precision, matching the paper's table style.
+  std::string mean_std_string(int precision = 2) const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: summary of a whole vector.
+RunningSummary summarize(const std::vector<double>& data);
+
+/// p-th percentile (p in [0,100]) by order-statistic interpolation.
+/// Throws on empty data.
+double percentile(std::vector<double> data, double p);
+
+}  // namespace wlgen::stats

@@ -1,0 +1,115 @@
+#include "stats/tests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/numeric.h"
+
+namespace wlgen::stats {
+
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  // Q(lambda) = 2 sum_{j>=1} (-1)^(j-1) exp(-2 j^2 lambda^2)
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * static_cast<double>(j) * static_cast<double>(j) *
+                                 lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+double ks_statistic(std::vector<double> data, const dist::Distribution& reference) {
+  if (data.empty()) throw std::invalid_argument("ks_statistic: empty data");
+  std::sort(data.begin(), data.end());
+  const double n = static_cast<double>(data.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double f = reference.cdf(data[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(f - lo), std::fabs(hi - f)});
+  }
+  return d;
+}
+
+TestResult ks_test(std::vector<double> data, const dist::Distribution& reference) {
+  const double n = static_cast<double>(data.size());
+  TestResult r;
+  r.statistic = ks_statistic(std::move(data), reference);
+  const double sqrt_n = std::sqrt(n);
+  // Stephens' small-sample correction.
+  r.p_value = kolmogorov_q((sqrt_n + 0.12 + 0.11 / sqrt_n) * r.statistic);
+  return r;
+}
+
+TestResult ks_test_two_sample(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("ks_test_two_sample: empty sample");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na - static_cast<double>(j) / nb));
+  }
+  TestResult r;
+  r.statistic = d;
+  const double ne = std::sqrt(na * nb / (na + nb));
+  r.p_value = kolmogorov_q((ne + 0.12 + 0.11 / ne) * d);
+  return r;
+}
+
+TestResult chi_square_test(const std::vector<double>& observed,
+                           const std::vector<double>& expected, double min_expected) {
+  if (observed.size() != expected.size() || observed.empty()) {
+    throw std::invalid_argument("chi_square_test: need matching non-empty count vectors");
+  }
+  // Pool low-expectation bins left to right so the asymptotics hold.
+  std::vector<double> obs_pooled, exp_pooled;
+  double o_acc = 0.0, e_acc = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    o_acc += observed[i];
+    e_acc += expected[i];
+    if (e_acc >= min_expected) {
+      obs_pooled.push_back(o_acc);
+      exp_pooled.push_back(e_acc);
+      o_acc = e_acc = 0.0;
+    }
+  }
+  if (e_acc > 0.0 || o_acc > 0.0) {
+    if (!exp_pooled.empty()) {
+      obs_pooled.back() += o_acc;
+      exp_pooled.back() += e_acc;
+    } else {
+      obs_pooled.push_back(o_acc);
+      exp_pooled.push_back(e_acc);
+    }
+  }
+  if (exp_pooled.size() < 2) {
+    throw std::invalid_argument("chi_square_test: too few usable bins after pooling");
+  }
+
+  double stat = 0.0;
+  for (std::size_t i = 0; i < exp_pooled.size(); ++i) {
+    if (exp_pooled[i] <= 0.0) continue;
+    const double diff = obs_pooled[i] - exp_pooled[i];
+    stat += diff * diff / exp_pooled[i];
+  }
+  const double dof = static_cast<double>(exp_pooled.size() - 1);
+  TestResult r;
+  r.statistic = stat;
+  // p = 1 - P(dof/2, stat/2) via the regularised incomplete gamma.
+  r.p_value = std::clamp(1.0 - util::regularized_gamma_p(dof / 2.0, stat / 2.0), 0.0, 1.0);
+  return r;
+}
+
+}  // namespace wlgen::stats

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace wlgen::stats {
+
+/// Result of a goodness-of-fit test.
+struct TestResult {
+  double statistic = 0.0;  ///< KS D or chi-square statistic
+  double p_value = 0.0;    ///< asymptotic p-value
+};
+
+/// One-sample Kolmogorov–Smirnov test of data against a reference
+/// distribution.  This is the "statistical tests of similarity to the real
+/// workload" facility the paper lists among its objectives (section 2.2).
+TestResult ks_test(std::vector<double> data, const dist::Distribution& reference);
+
+/// Two-sample Kolmogorov–Smirnov test.
+TestResult ks_test_two_sample(std::vector<double> a, std::vector<double> b);
+
+/// Kolmogorov–Smirnov D statistic only (one sample).
+double ks_statistic(std::vector<double> data, const dist::Distribution& reference);
+
+/// Asymptotic Kolmogorov survival function Q(lambda) = P(D > d).
+double kolmogorov_q(double lambda);
+
+/// Chi-square goodness-of-fit on binned counts vs expected counts.
+/// Bins with expected < min_expected are pooled with their right neighbour.
+TestResult chi_square_test(const std::vector<double>& observed,
+                           const std::vector<double>& expected, double min_expected = 5.0);
+
+}  // namespace wlgen::stats

@@ -1,0 +1,243 @@
+// wlgen — command-line driver for the user-oriented synthetic workload
+// generator.  Wraps the three paper components plus the analyzer and the
+// trace replayer:
+//
+//   wlgen gds <spec-file> [--plot NAME] [--cdf NAME] [--points N]
+//   wlgen run [--users N] [--sessions M] [--model nfs|local|wholefile]
+//             [--heavy F] [--seed S] [--markov P] [--pattern seq|random|zipf]
+//             [--windows W] [--spec FILE] [--log OUT.tsv]
+//   wlgen analyze <log.tsv>
+//   wlgen replay <log.tsv> [--model ...] [--closed-loop] [--scale X]
+//
+// Exit status: 0 on success, 1 on bad usage or I/O failure.
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/fsc.h"
+#include "core/presets.h"
+#include "core/replay.h"
+#include "core/spec.h"
+#include "core/usim.h"
+#include "fsmodel/local_model.h"
+#include "fsmodel/nfs_model.h"
+#include "fsmodel/wholefile_model.h"
+#include "util/ascii_plot.h"
+#include "util/strings.h"
+#include "util/svg.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace wlgen;
+
+/// Tiny flag parser: positional arguments plus --key value pairs.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args parse(int argc, char** argv, int start) {
+    Args out;
+    for (int i = start; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (util::starts_with(arg, "--")) {
+        const std::string key = arg.substr(2);
+        if (i + 1 < argc && !util::starts_with(argv[i + 1], "--")) {
+          out.flags[key] = argv[++i];
+        } else {
+          out.flags[key] = "true";  // boolean flag
+        }
+      } else {
+        out.positional.push_back(arg);
+      }
+    }
+    return out;
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double number(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    const auto v = util::parse_double(it->second);
+    if (!v) throw std::invalid_argument("flag --" + key + " expects a number");
+    return *v;
+  }
+  bool boolean(const std::string& key) const { return flags.count(key) != 0; }
+};
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  wlgen gds <spec-file> [--plot NAME] [--cdf NAME] [--points N]\n"
+      "  wlgen run [--users N] [--sessions M] [--model nfs|local|wholefile]\n"
+      "            [--heavy F] [--seed S] [--markov P] [--pattern seq|random|zipf]\n"
+      "            [--windows W] [--spec FILE] [--log OUT.tsv]\n"
+      "  wlgen analyze <log.tsv>\n"
+      "  wlgen replay <log.tsv> [--model M] [--closed-loop] [--scale X]\n";
+  return 1;
+}
+
+std::unique_ptr<fsmodel::FileSystemModel> make_model(const std::string& name,
+                                                     sim::Simulation& simulation) {
+  if (name == "nfs") return std::make_unique<fsmodel::NfsModel>(simulation);
+  if (name == "local") return std::make_unique<fsmodel::LocalDiskModel>(simulation);
+  if (name == "wholefile") return std::make_unique<fsmodel::WholeFileCacheModel>(simulation);
+  throw std::invalid_argument("unknown model '" + name + "' (nfs|local|wholefile)");
+}
+
+int cmd_gds(const Args& args) {
+  if (args.positional.empty()) return usage();
+  core::DistributionSpecifier gds;
+  gds.load_spec_text(util::read_text_file(args.positional[0]));
+
+  util::TextTable table({"name", "mean", "stddev", "spec"});
+  for (const auto& name : gds.names()) {
+    const auto d = gds.get(name);
+    table.add_row({name, util::TextTable::num(d->mean(), 3),
+                   util::TextTable::num(d->stddev(), 3), core::serialize_distribution(*d)});
+  }
+  std::cout << table.render();
+
+  if (args.flags.count("plot")) {
+    std::cout << "\n" << gds.render_ascii(args.get("plot", ""));
+  }
+  if (args.flags.count("cdf")) {
+    const auto points = static_cast<std::size_t>(args.number("points", 64));
+    std::cout << "\n# CDF table for " << args.get("cdf", "") << "\n"
+              << gds.cdf_table(args.get("cdf", ""), points).serialize();
+  }
+  return 0;
+}
+
+void print_analysis(const core::UsageLog& log) {
+  const core::UsageAnalyzer analyzer(log);
+  util::TextTable ops({"op", "count", "access size mean(std)", "response us mean(std)"});
+  for (const auto& [op, s] : analyzer.per_op_stats()) {
+    ops.add_row({fsmodel::to_string(op), std::to_string(s.response_us.count()),
+                 s.access_size.count() ? s.access_size.mean_std_string() : "-",
+                 s.response_us.mean_std_string()});
+  }
+  std::cout << ops.render() << "\n";
+
+  util::TextTable summary({"metric", "value"});
+  summary.add_row({"system calls", std::to_string(analyzer.op_count())});
+  summary.add_row({"sessions", std::to_string(analyzer.sessions().size())});
+  summary.add_row(
+      {"access size B mean(std)",
+       analyzer.access_size_stats().count() ? analyzer.access_size_stats().mean_std_string() : "-"});
+  summary.add_row({"response us mean(std)", analyzer.response_stats().mean_std_string()});
+  summary.add_row(
+      {"response per byte us", util::TextTable::num(analyzer.response_per_byte_us(), 4)});
+  std::cout << summary.render();
+}
+
+int cmd_run(const Args& args) {
+  const auto users = static_cast<std::size_t>(args.number("users", 1));
+  const auto sessions = static_cast<std::size_t>(args.number("sessions", 50));
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 1991));
+  const double heavy = args.number("heavy", 1.0);
+
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&simulation] { return simulation.now(); });
+  auto model = make_model(args.get("model", "nfs"), simulation);
+
+  core::FscConfig fsc_config;
+  fsc_config.num_users = users;
+  fsc_config.seed = seed;
+  core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
+  const core::CreatedFileSystem manifest = fsc.create();
+
+  core::Population population = core::mixed_population(heavy);
+  if (args.flags.count("spec")) {
+    // Override think time / access size from a GDS spec file when present.
+    core::DistributionSpecifier gds;
+    gds.load_spec_text(util::read_text_file(args.get("spec", "")));
+    for (auto& group : population.groups) {
+      if (gds.contains("think_time")) group.type.think_time_us = gds.get("think_time");
+      if (gds.contains("access_size")) group.type.access_size_bytes = gds.get("access_size");
+    }
+  }
+
+  core::UsimConfig config;
+  config.num_users = users;
+  config.sessions_per_user = sessions;
+  config.seed = seed;
+  config.markov_persistence = args.number("markov", -1.0);
+  config.windows_per_user = static_cast<std::size_t>(args.number("windows", 1));
+  const std::string pattern = args.get("pattern", "seq");
+  if (pattern == "random") {
+    config.pattern = core::AccessPattern::uniform_random;
+  } else if (pattern == "zipf") {
+    config.pattern = core::AccessPattern::zipf_block;
+  } else if (pattern != "seq") {
+    throw std::invalid_argument("unknown pattern '" + pattern + "' (seq|random|zipf)");
+  }
+
+  core::UserSimulator usim(simulation, fsys, *model, manifest, population, config);
+  usim.run();
+
+  std::cout << "model: " << model->name() << "  users: " << users << "  sessions: "
+            << usim.sessions_completed() << "  simulated: " << simulation.now() / 1e6
+            << " s\n\n";
+  print_analysis(usim.log());
+  std::cout << "\n" << model->stats_summary();
+
+  if (args.flags.count("log")) {
+    util::write_text_file(args.get("log", ""), usim.log().serialize());
+    std::cout << "\nusage log written to " << args.get("log", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const core::UsageLog log = core::UsageLog::parse(util::read_text_file(args.positional[0]));
+  print_analysis(log);
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const core::UsageLog trace = core::UsageLog::parse(util::read_text_file(args.positional[0]));
+
+  sim::Simulation simulation;
+  auto model = make_model(args.get("model", "nfs"), simulation);
+  core::TraceReplayer replayer(simulation, *model, trace);
+  core::TraceReplayer::Options options;
+  options.preserve_timing = !args.boolean("closed-loop");
+  options.time_scale = args.number("scale", 1.0);
+  const core::UsageLog replayed = replayer.run(options);
+
+  std::cout << "replayed " << replayer.ops_replayed() << " ops ("
+            << (options.preserve_timing ? "open" : "closed") << " loop) on " << model->name()
+            << "\n\n";
+  print_analysis(replayed);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  try {
+    if (command == "gds") return cmd_gds(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "replay") return cmd_replay(args);
+  } catch (const std::exception& e) {
+    std::cerr << "wlgen " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

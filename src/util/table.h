@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wlgen::util {
+
+/// Fixed-column text table used by the bench binaries to print paper-style
+/// tables (e.g. Table 5.3 "mean(std) of access size and response time").
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Formats the paper's "mean(std)" cell style.
+  static std::string mean_std(double mean, double std, int precision = 2);
+
+  /// Renders the table with a header separator line.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wlgen::util

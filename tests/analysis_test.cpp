@@ -1,0 +1,217 @@
+// Tests for the Usage Analyzer and the baseline (benchmark-style) workloads.
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/baseline.h"
+#include "core/fsc.h"
+#include "core/presets.h"
+#include "core/usim.h"
+#include "fsmodel/nfs_model.h"
+#include "fsmodel/wholefile_model.h"
+
+namespace wlgen::core {
+namespace {
+
+OpRecord record(std::uint32_t user, std::uint32_t session, fsmodel::FsOpType op,
+                std::uint64_t file, std::uint64_t bytes, std::uint64_t file_size,
+                double issue = 0.0, double response = 10.0) {
+  OpRecord r;
+  r.user = user;
+  r.session = session;
+  r.op = op;
+  r.file_id = file;
+  r.requested_bytes = bytes;
+  r.actual_bytes = bytes;
+  r.file_size = file_size;
+  r.issue_time_us = issue;
+  r.response_us = response;
+  r.category = FileCategory{FileType::regular, FileOwner::user, UseMode::read_only};
+  return r;
+}
+
+TEST(Analyzer, SessionAggregatesMatchHandComputation) {
+  UsageLog log;
+  // Session (0,0): file 1 (size 1000) read 600+600 bytes; file 2 (size 500) read 250.
+  log.append(record(0, 0, fsmodel::FsOpType::open, 1, 0, 1000, 0.0, 5.0));
+  log.append(record(0, 0, fsmodel::FsOpType::read, 1, 600, 1000, 10.0, 20.0));
+  log.append(record(0, 0, fsmodel::FsOpType::read, 1, 600, 1000, 40.0, 20.0));
+  log.append(record(0, 0, fsmodel::FsOpType::open, 2, 0, 500, 70.0, 5.0));
+  log.append(record(0, 0, fsmodel::FsOpType::read, 2, 250, 500, 80.0, 20.0));
+  log.append(record(0, 0, fsmodel::FsOpType::close, 1, 0, 1000, 110.0, 5.0));
+
+  const UsageAnalyzer analyzer(log);
+  ASSERT_EQ(analyzer.sessions().size(), 1u);
+  const SessionSummary& s = analyzer.sessions()[0];
+  EXPECT_EQ(s.ops, 6u);
+  EXPECT_EQ(s.bytes_accessed, 1450u);
+  EXPECT_EQ(s.files_referenced, 2u);
+  EXPECT_DOUBLE_EQ(s.total_file_bytes, 1500.0);
+  EXPECT_DOUBLE_EQ(s.mean_file_size, 750.0);
+  EXPECT_DOUBLE_EQ(s.access_per_byte, 1450.0 / 1500.0);
+  EXPECT_DOUBLE_EQ(s.start_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.end_us, 115.0);
+}
+
+TEST(Analyzer, SeparatesSessions) {
+  UsageLog log;
+  log.append(record(0, 0, fsmodel::FsOpType::read, 1, 100, 1000));
+  log.append(record(0, 1, fsmodel::FsOpType::read, 1, 100, 1000));
+  log.append(record(1, 0, fsmodel::FsOpType::read, 2, 100, 1000));
+  const UsageAnalyzer analyzer(log);
+  EXPECT_EQ(analyzer.sessions().size(), 3u);
+}
+
+TEST(Analyzer, ResponsePerByteIsAllResponseOverDataBytes) {
+  UsageLog log;
+  log.append(record(0, 0, fsmodel::FsOpType::read, 1, 100, 1000, 0.0, 300.0));
+  log.append(record(0, 0, fsmodel::FsOpType::read, 1, 300, 1000, 0.0, 100.0));
+  // The open's response counts toward the numerator (it is part of the cost
+  // of accessing those bytes) but contributes no bytes.
+  log.append(record(0, 0, fsmodel::FsOpType::open, 1, 0, 1000, 0.0, 1000.0));
+  const UsageAnalyzer analyzer(log);
+  EXPECT_DOUBLE_EQ(analyzer.response_per_byte_us(), (300.0 + 100.0 + 1000.0) / 400.0);
+}
+
+TEST(Analyzer, PerOpStatsSplitsByType) {
+  UsageLog log;
+  log.append(record(0, 0, fsmodel::FsOpType::read, 1, 100, 1000, 0.0, 10.0));
+  log.append(record(0, 0, fsmodel::FsOpType::write, 1, 200, 1000, 0.0, 20.0));
+  log.append(record(0, 0, fsmodel::FsOpType::open, 1, 0, 1000, 0.0, 30.0));
+  const auto stats = UsageAnalyzer(log).per_op_stats();
+  EXPECT_DOUBLE_EQ(stats.at(fsmodel::FsOpType::read).access_size.mean(), 100.0);
+  EXPECT_DOUBLE_EQ(stats.at(fsmodel::FsOpType::write).access_size.mean(), 200.0);
+  EXPECT_DOUBLE_EQ(stats.at(fsmodel::FsOpType::open).response_us.mean(), 30.0);
+  EXPECT_EQ(stats.at(fsmodel::FsOpType::open).access_size.count(), 0u);
+}
+
+TEST(Analyzer, HistogramsCoverSessions) {
+  UsageLog log;
+  for (std::uint32_t s = 0; s < 20; ++s) {
+    log.append(record(0, s, fsmodel::FsOpType::read, 1, 100 * (s + 1), 1000));
+  }
+  const UsageAnalyzer analyzer(log);
+  const auto h = analyzer.session_access_per_byte_histogram(10);
+  std::size_t total = 0;
+  for (double c : h.counts()) total += static_cast<std::size_t>(c);
+  EXPECT_EQ(total, 20u);
+  EXPECT_NO_THROW(analyzer.session_file_size_histogram(10));
+  EXPECT_NO_THROW(analyzer.session_files_histogram(10));
+}
+
+TEST(Analyzer, PerCategoryUsageGroupsCorrectly) {
+  UsageLog log;
+  OpRecord notes = record(0, 0, fsmodel::FsOpType::read, 5, 400, 800);
+  notes.category = FileCategory{FileType::regular, FileOwner::notes, UseMode::read_only};
+  log.append(notes);
+  log.append(record(0, 0, fsmodel::FsOpType::read, 1, 100, 1000));
+  log.append(record(0, 1, fsmodel::FsOpType::read, 1, 100, 1000));
+
+  const auto usage = UsageAnalyzer(log).per_category_usage();
+  ASSERT_TRUE(usage.count("REG/NOTES/RDONLY"));
+  ASSERT_TRUE(usage.count("REG/USER/RDONLY"));
+  EXPECT_DOUBLE_EQ(usage.at("REG/NOTES/RDONLY").access_per_byte.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(usage.at("REG/NOTES/RDONLY").fraction_sessions_touching, 0.5);
+  EXPECT_DOUBLE_EQ(usage.at("REG/USER/RDONLY").fraction_sessions_touching, 1.0);
+}
+
+TEST(Analyzer, EmptyLogYieldsNoSessions) {
+  UsageLog log;
+  const UsageAnalyzer analyzer(log);
+  EXPECT_TRUE(analyzer.sessions().empty());
+  EXPECT_DOUBLE_EQ(analyzer.response_per_byte_us(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines.
+// ---------------------------------------------------------------------------
+
+TEST(Baseline, AndrewScriptPhasesRunInOrder) {
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsmodel::NfsModel nfs(simulation);
+  ScriptRunner runner(simulation, fsys, nfs);
+  AndrewConfig config;
+  config.directories = 2;
+  config.files_per_directory = 3;
+  const ScriptResult result = runner.run(make_andrew_script(config), andrew_phase_names());
+
+  ASSERT_EQ(result.phase_us.size(), 6u);
+  EXPECT_EQ(result.phase_names[2], "Copy");
+  for (std::size_t i = 1; i < result.phase_us.size(); ++i) {
+    EXPECT_GT(result.phase_us[i], 0.0) << result.phase_names[i];
+  }
+  // Copy moves the most bytes; it must dominate MakeDir.
+  EXPECT_GT(result.phase_us[2], result.phase_us[1]);
+  EXPECT_GT(result.ops, 50u);
+  EXPECT_DOUBLE_EQ(result.total_us, simulation.now());
+
+  // The simulated tree really exists.
+  EXPECT_TRUE(fsys.exists("/andrew/d1/f2"));
+  EXPECT_TRUE(fsys.exists("/andrew/d0/f0.o"));
+  EXPECT_EQ(fsys.stat("/andrew/d1/f2").value().size, config.file_bytes);
+}
+
+TEST(Baseline, AndrewReadAllFasterWarmThanCopyPhase) {
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsmodel::NfsModel nfs(simulation);
+  ScriptRunner runner(simulation, fsys, nfs);
+  const ScriptResult result = runner.run(make_andrew_script(AndrewConfig{}), andrew_phase_names());
+  // ReadAll re-reads data the Copy phase pulled through the client cache.
+  EXPECT_LT(result.phase_us[4], result.phase_us[2]);
+}
+
+TEST(Baseline, BuchholzUpdatesMasterInPlace) {
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsmodel::NfsModel nfs(simulation);
+  ScriptRunner runner(simulation, fsys, nfs);
+  BuchholzConfig config;
+  config.master_records = 64;
+  config.detail_records = 32;
+  const ScriptResult result =
+      runner.run(make_buchholz_script(config), buchholz_phase_names(config));
+
+  ASSERT_EQ(result.phase_us.size(), 2u);
+  EXPECT_GT(result.phase_us[1], 0.0);
+  const auto st = fsys.stat("/buchholz/master").value();
+  EXPECT_EQ(st.size, 64u * config.record_bytes);  // in-place: size unchanged
+  // Setup wrote ceil(64*120 / 2048) = 4 blocks; each of 32 updates wrote once.
+  EXPECT_EQ(st.write_ops, 4u + 32u);
+}
+
+TEST(Baseline, BuchholzPassesScaleWork) {
+  sim::Simulation s1, s2;
+  fs::SimulatedFileSystem f1, f2;
+  fsmodel::NfsModel m1(s1), m2(s2);
+  BuchholzConfig one;
+  one.passes = 1;
+  BuchholzConfig three;
+  three.passes = 3;
+  const auto r1 = ScriptRunner(s1, f1, m1).run(make_buchholz_script(one), buchholz_phase_names(one));
+  const auto r3 =
+      ScriptRunner(s2, f2, m2).run(make_buchholz_script(three), buchholz_phase_names(three));
+  EXPECT_EQ(r3.phase_us.size(), 4u);
+  EXPECT_GT(r3.ops, r1.ops * 2);
+}
+
+TEST(Baseline, ScriptRunnerRecordsLog) {
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsmodel::WholeFileCacheModel afs(simulation);
+  ScriptRunner runner(simulation, fsys, afs);
+  std::vector<ScriptOp> script = {
+      {fsmodel::FsOpType::mkdir, "/d", 0, -1, 0},
+      {fsmodel::FsOpType::creat, "/d/f", 0, -1, 0},
+      {fsmodel::FsOpType::write, "/d/f", 100, -1, 0},
+      {fsmodel::FsOpType::close, "/d/f", 0, -1, 0},
+  };
+  const ScriptResult result = runner.run(script, {"only"});
+  EXPECT_EQ(result.ops, 4u);
+  EXPECT_EQ(result.log.size(), 4u);
+  EXPECT_EQ(result.log.records()[2].actual_bytes, 100u);
+}
+
+}  // namespace
+}  // namespace wlgen::core

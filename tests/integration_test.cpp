@@ -1,0 +1,239 @@
+// End-to-end integration tests: the full GDS -> FSC -> USIM -> Analyzer
+// pipeline must exhibit the paper's qualitative results (in miniature, so
+// the suite stays fast).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.h"
+#include "core/fsc.h"
+#include "core/presets.h"
+#include "core/spec.h"
+#include "core/usim.h"
+#include "fsmodel/local_model.h"
+#include "fsmodel/nfs_model.h"
+#include "fsmodel/wholefile_model.h"
+#include "stats/tests.h"
+
+namespace wlgen::core {
+namespace {
+
+/// Runs one experiment: `users` simultaneous users of `population` for
+/// `sessions` sessions each against a fresh NFS rig; returns the analyzer.
+struct ExperimentResult {
+  double response_per_byte = 0.0;
+  double mean_response = 0.0;
+  double mean_access = 0.0;
+  std::uint64_t ops = 0;
+};
+
+ExperimentResult run_experiment(std::size_t users, const Population& population,
+                                std::size_t sessions, std::uint64_t seed = 11) {
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&simulation] { return simulation.now(); });
+  fsmodel::NfsModel nfs(simulation);
+  FscConfig fsc_config;
+  fsc_config.num_users = users;
+  fsc_config.seed = seed;
+  FileSystemCreator fsc(fsys, di86_file_profiles(), fsc_config);
+  const CreatedFileSystem manifest = fsc.create();
+  UsimConfig config;
+  config.num_users = users;
+  config.sessions_per_user = sessions;
+  config.seed = seed;
+  UserSimulator usim(simulation, fsys, nfs, manifest, population, config);
+  usim.run();
+  const UsageAnalyzer analyzer(usim.log());
+  ExperimentResult r;
+  r.response_per_byte = analyzer.response_per_byte_us();
+  r.mean_response = analyzer.response_stats().mean();
+  r.mean_access = analyzer.access_size_stats().mean();
+  r.ops = analyzer.op_count();
+  return r;
+}
+
+Population extreme_population() {
+  Population p;
+  p.groups.push_back({extremely_heavy_user(), 1.0});
+  p.validate_and_normalize();
+  return p;
+}
+
+TEST(Integration, Table53AccessSizeRegime) {
+  // Paper Table 5.3: measured mean access ~947 B (input mean 1024), std of
+  // the same order as the mean, response std >> response mean.
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsmodel::NfsModel nfs(simulation);
+  FscConfig fsc_config;
+  FileSystemCreator fsc(fsys, di86_file_profiles(), fsc_config);
+  const CreatedFileSystem manifest = fsc.create();
+  UsimConfig config;
+  config.sessions_per_user = 25;
+  UserSimulator usim(simulation, fsys, nfs, manifest, default_population(), config);
+  usim.run();
+  const UsageAnalyzer analyzer(usim.log());
+
+  const auto access = analyzer.access_size_stats();
+  EXPECT_GT(access.mean(), 700.0);
+  EXPECT_LT(access.mean(), 1024.0);
+  EXPECT_NEAR(access.stddev(), access.mean(), access.mean() * 0.35);
+
+  const auto response = analyzer.response_stats();
+  EXPECT_GT(response.stddev(), 2.0 * response.mean());
+}
+
+TEST(Integration, ResponseGrowsWithUserCount) {
+  // The Figure 5.6/5.7 mechanism: more simultaneous users => more contention
+  // => higher response per byte.
+  const auto one = run_experiment(1, extreme_population(), 6);
+  const auto six = run_experiment(6, extreme_population(), 6);
+  EXPECT_GT(six.response_per_byte, one.response_per_byte * 1.5);
+}
+
+TEST(Integration, ExtremeUsersSeeWorseResponseThanLightUsers) {
+  // Zero think time saturates the server; light users keep it mostly idle.
+  Population light;
+  light.groups.push_back({light_user(), 1.0});
+  light.validate_and_normalize();
+  const auto extreme = run_experiment(4, extreme_population(), 5);
+  const auto relaxed = run_experiment(4, light, 5);
+  EXPECT_GT(extreme.response_per_byte, relaxed.response_per_byte);
+}
+
+TEST(Integration, LargerAccessSizesLowerPerByteCost) {
+  // Figure 5.12: response time per byte falls as the access size grows.
+  const auto with_mean = [](double mean) {
+    Population p;
+    p.groups.push_back({with_access_size_mean(extremely_heavy_user(), mean), 1.0});
+    p.validate_and_normalize();
+    return run_experiment(1, p, 15);
+  };
+  const auto small = with_mean(128.0);
+  const auto large = with_mean(2048.0);
+  EXPECT_GT(small.response_per_byte, large.response_per_byte * 1.35);
+}
+
+TEST(Integration, FileSystemComparisonProcedure) {
+  // Section 5.3: the same workload, three candidate file systems.  The
+  // identical population with no network must beat NFS.
+  const auto response_for = [](int which) {
+    sim::Simulation simulation;
+    fs::SimulatedFileSystem fsys;
+    std::unique_ptr<fsmodel::FileSystemModel> model;
+    if (which == 0) {
+      model = std::make_unique<fsmodel::NfsModel>(simulation);
+    } else if (which == 1) {
+      model = std::make_unique<fsmodel::LocalDiskModel>(simulation);
+    } else {
+      model = std::make_unique<fsmodel::WholeFileCacheModel>(simulation);
+    }
+    FscConfig fsc_config;
+    fsc_config.seed = 77;
+    FileSystemCreator fsc(fsys, di86_file_profiles(), fsc_config);
+    const CreatedFileSystem manifest = fsc.create();
+    UsimConfig config;
+    config.sessions_per_user = 8;
+    config.seed = 77;
+    UserSimulator usim(simulation, fsys, *model, manifest, default_population(), config);
+    usim.run();
+    return UsageAnalyzer(usim.log()).response_per_byte_us();
+  };
+  const double nfs = response_for(0);
+  const double local = response_for(1);
+  EXPECT_LT(local, nfs);  // identical workload, no network => faster
+  EXPECT_GT(nfs, 0.0);
+  EXPECT_GT(response_for(2), 0.0);
+}
+
+TEST(Integration, GdsDistributionsDriveUsim) {
+  // Custom distributions flow end to end: a constant 256-byte access size
+  // must show up as (at most) 256-byte accesses in the log.
+  DistributionSpecifier gds;
+  gds.load_spec_text(
+      "think = constant(1000)\n"
+      "access = constant(256)\n");
+  UserType custom = heavy_user();
+  custom.think_time_us = gds.get("think");
+  custom.access_size_bytes = gds.get("access");
+  Population population;
+  population.groups.push_back({custom, 1.0});
+  population.validate_and_normalize();
+
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsmodel::NfsModel nfs(simulation);
+  FscConfig fsc_config;
+  FileSystemCreator fsc(fsys, di86_file_profiles(), fsc_config);
+  const CreatedFileSystem manifest = fsc.create();
+  UsimConfig config;
+  config.sessions_per_user = 3;
+  UserSimulator usim(simulation, fsys, nfs, manifest, population, config);
+  usim.run();
+
+  for (const auto& r : usim.log().records()) {
+    if (fsmodel::is_data_op(r.op)) EXPECT_LE(r.requested_bytes, 256u);
+  }
+}
+
+TEST(Integration, LogRoundTripPreservesAnalysis) {
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsmodel::NfsModel nfs(simulation);
+  FscConfig fsc_config;
+  FileSystemCreator fsc(fsys, di86_file_profiles(), fsc_config);
+  const CreatedFileSystem manifest = fsc.create();
+  UsimConfig config;
+  config.sessions_per_user = 3;
+  UserSimulator usim(simulation, fsys, nfs, manifest, default_population(), config);
+  usim.run();
+
+  const UsageLog reloaded = UsageLog::parse(usim.log().serialize());
+  const UsageAnalyzer a(usim.log());
+  const UsageAnalyzer b(reloaded);
+  EXPECT_EQ(a.sessions().size(), b.sessions().size());
+  EXPECT_DOUBLE_EQ(a.response_per_byte_us(), b.response_per_byte_us());
+  EXPECT_DOUBLE_EQ(a.access_size_stats().mean(), b.access_size_stats().mean());
+}
+
+TEST(Integration, GeneratedAccessSizesPassKsAgainstTruncatedInput) {
+  // The *requested* access sizes (before EOF truncation) must follow the
+  // input exponential; a two-sample KS against fresh draws checks the whole
+  // sampling path.
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsmodel::NfsModel nfs(simulation);
+  FscConfig fsc_config;
+  FileSystemCreator fsc(fsys, di86_file_profiles(), fsc_config);
+  const CreatedFileSystem manifest = fsc.create();
+  UsimConfig config;
+  config.sessions_per_user = 10;
+  UserSimulator usim(simulation, fsys, nfs, manifest, default_population(), config);
+  usim.run();
+
+  std::vector<double> requested;
+  for (const auto& r : usim.log().records()) {
+    if (fsmodel::is_data_op(r.op) && r.requested_bytes > 0) {
+      requested.push_back(static_cast<double>(r.requested_bytes));
+    }
+  }
+  ASSERT_GT(requested.size(), 500u);
+  util::RngStream rng(123, "ks-ref");
+  std::vector<double> reference;
+  reference.reserve(requested.size());
+  for (std::size_t i = 0; i < requested.size(); ++i) {
+    reference.push_back(std::max(1.0, std::round(rng.exponential(1024.0))));
+  }
+  // Write sizes are clipped by remaining write targets, so compare only the
+  // bulk of the distribution: medians within 10%.
+  std::sort(requested.begin(), requested.end());
+  std::sort(reference.begin(), reference.end());
+  const double med_req = requested[requested.size() / 2];
+  const double med_ref = reference[reference.size() / 2];
+  EXPECT_NEAR(med_req / med_ref, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace wlgen::core

@@ -1,0 +1,231 @@
+// Unit tests for src/sim: event ordering, clock semantics, FCFS resources
+// with utilisation accounting, and stage-chain execution.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "sim/stages.h"
+
+namespace wlgen::sim {
+namespace {
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(30.0, [&] { order.push_back(3); });
+  sim.schedule(10.0, [&] { order.push_back(1); });
+  sim.schedule(20.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulation, TiesBreakInSchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, NestedSchedulingAdvancesClock) {
+  Simulation sim;
+  double inner_time = -1.0;
+  sim.schedule(10.0, [&] {
+    sim.schedule(5.0, [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(inner_time, 15.0);
+}
+
+TEST(Simulation, RejectsInvalidScheduling) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(10.0, [&] { ++fired; });
+  sim.schedule(20.0, [&] { ++fired; });
+  sim.run_until(15.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 15.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventBudgetGuardsLivelock) {
+  Simulation sim;
+  std::function<void()> loop = [&] { sim.schedule(0.0, loop); };
+  sim.schedule(0.0, loop);
+  EXPECT_THROW(sim.run(1000), std::runtime_error);
+}
+
+TEST(Resource, SingleServerSerializesRequests) {
+  Simulation sim;
+  Resource disk(sim, "disk", 1);
+  std::vector<double> completions;
+  sim.schedule(0.0, [&] {
+    disk.use(10.0, [&] { completions.push_back(sim.now()); });
+    disk.use(10.0, [&] { completions.push_back(sim.now()); });
+    disk.use(10.0, [&] { completions.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 10.0);
+  EXPECT_DOUBLE_EQ(completions[1], 20.0);
+  EXPECT_DOUBLE_EQ(completions[2], 30.0);
+  EXPECT_EQ(disk.completed(), 3u);
+}
+
+TEST(Resource, MultiServerRunsInParallel) {
+  Simulation sim;
+  Resource cpu(sim, "cpu", 2);
+  std::vector<double> completions;
+  sim.schedule(0.0, [&] {
+    for (int i = 0; i < 4; ++i) {
+      cpu.use(10.0, [&] { completions.push_back(sim.now()); });
+    }
+  });
+  sim.run();
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_DOUBLE_EQ(completions[0], 10.0);
+  EXPECT_DOUBLE_EQ(completions[1], 10.0);
+  EXPECT_DOUBLE_EQ(completions[2], 20.0);
+  EXPECT_DOUBLE_EQ(completions[3], 20.0);
+}
+
+TEST(Resource, FcfsOrderPreserved) {
+  Simulation sim;
+  Resource disk(sim, "disk", 1);
+  std::vector<int> order;
+  sim.schedule(0.0, [&] { disk.use(5.0, [&] { order.push_back(0); }); });
+  sim.schedule(1.0, [&] { disk.use(5.0, [&] { order.push_back(1); }); });
+  sim.schedule(2.0, [&] { disk.use(5.0, [&] { order.push_back(2); }); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Resource, UtilizationFullWhenSaturated) {
+  Simulation sim;
+  Resource disk(sim, "disk", 1);
+  sim.schedule(0.0, [&] {
+    for (int i = 0; i < 10; ++i) disk.use(10.0, [] {});
+  });
+  sim.run();
+  EXPECT_NEAR(disk.utilization(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(disk.busy_time(), 100.0);
+}
+
+TEST(Resource, UtilizationHalfWhenIdleHalfTheTime) {
+  Simulation sim;
+  Resource disk(sim, "disk", 1);
+  sim.schedule(0.0, [&] { disk.use(10.0, [] {}); });
+  sim.schedule(20.0, [&] { disk.use(10.0, [] {}); });
+  sim.run();  // busy [0,10] and [20,30] over elapsed 30
+  EXPECT_NEAR(disk.utilization(), 20.0 / 30.0, 1e-9);
+}
+
+TEST(Resource, MeanQueueLengthAccounting) {
+  Simulation sim;
+  Resource disk(sim, "disk", 1);
+  sim.schedule(0.0, [&] {
+    disk.use(10.0, [] {});
+    disk.use(10.0, [] {});  // waits [0,10]
+  });
+  sim.run();  // queue length 1 for 10 of 20 elapsed
+  EXPECT_NEAR(disk.mean_queue_length(), 0.5, 1e-9);
+}
+
+TEST(Resource, ResetStatsClearsCounters) {
+  Simulation sim;
+  Resource disk(sim, "disk", 1);
+  sim.schedule(0.0, [&] { disk.use(10.0, [] {}); });
+  sim.run();
+  disk.reset_stats();
+  EXPECT_EQ(disk.completed(), 0u);
+  EXPECT_DOUBLE_EQ(disk.busy_time(), 0.0);
+}
+
+TEST(Resource, RejectsInvalidUse) {
+  Simulation sim;
+  Resource disk(sim, "disk", 1);
+  EXPECT_THROW(disk.use(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(disk.use(1.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(Resource(sim, "bad", 0), std::invalid_argument);
+}
+
+TEST(Stages, DelayChainAccumulates) {
+  Simulation sim;
+  double elapsed = -1.0;
+  StageChain chain = {Stage::make_delay(5.0), Stage::make_delay(7.0)};
+  EXPECT_DOUBLE_EQ(chain_service_demand(chain), 12.0);
+  execute_chain(sim, chain, [&](SimTime t) { elapsed = t; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(elapsed, 12.0);
+}
+
+TEST(Stages, UseStageIncludesQueueing) {
+  Simulation sim;
+  Resource disk(sim, "disk", 1);
+  std::vector<double> elapsed;
+  sim.schedule(0.0, [&] {
+    execute_chain(sim, {Stage::make_use(disk, 10.0)},
+                  [&](SimTime t) { elapsed.push_back(t); });
+    execute_chain(sim, {Stage::make_use(disk, 10.0)},
+                  [&](SimTime t) { elapsed.push_back(t); });
+  });
+  sim.run();
+  ASSERT_EQ(elapsed.size(), 2u);
+  EXPECT_DOUBLE_EQ(elapsed[0], 10.0);  // no wait
+  EXPECT_DOUBLE_EQ(elapsed[1], 20.0);  // waited 10 behind the first
+}
+
+TEST(Stages, MixedChainOrdering) {
+  Simulation sim;
+  Resource disk(sim, "disk", 1);
+  double elapsed = -1.0;
+  StageChain chain = {Stage::make_delay(3.0), Stage::make_use(disk, 4.0),
+                      Stage::make_delay(2.0)};
+  execute_chain(sim, chain, [&](SimTime t) { elapsed = t; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(elapsed, 9.0);
+}
+
+TEST(Stages, EmptyChainCompletesImmediately) {
+  Simulation sim;
+  double elapsed = -1.0;
+  execute_chain(sim, {}, [&](SimTime t) { elapsed = t; });
+  EXPECT_DOUBLE_EQ(elapsed, 0.0);  // synchronous: no stages to schedule
+}
+
+TEST(Stages, RejectsInvalidStages) {
+  Simulation sim;
+  EXPECT_THROW(Stage::make_delay(-1.0), std::invalid_argument);
+  EXPECT_THROW(execute_chain(sim, {}, nullptr), std::invalid_argument);
+}
+
+TEST(Stages, ManyConcurrentChainsOnOneResource) {
+  Simulation sim;
+  Resource disk(sim, "disk", 1);
+  int completed = 0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    execute_chain(sim, {Stage::make_use(disk, 1.0)}, [&](SimTime) { ++completed; });
+  }
+  sim.run();
+  EXPECT_EQ(completed, n);
+  EXPECT_DOUBLE_EQ(sim.now(), static_cast<double>(n));
+}
+
+}  // namespace
+}  // namespace wlgen::sim

@@ -1,0 +1,240 @@
+// Unit tests for src/stats: Welford summaries, histograms, smoothing,
+// KS / chi-square goodness-of-fit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/basic.h"
+#include "stats/histogram.h"
+#include "stats/smoothing.h"
+#include "stats/summary.h"
+#include "stats/tests.h"
+#include "util/rng.h"
+
+namespace wlgen::stats {
+namespace {
+
+TEST(RunningSummary, BasicMoments) {
+  RunningSummary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningSummary, ThrowsOnEmpty) {
+  RunningSummary s;
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.variance(), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+}
+
+TEST(RunningSummary, MergeMatchesCombinedStream) {
+  util::RngStream rng(1, "merge");
+  RunningSummary all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningSummary, MergeWithEmpty) {
+  RunningSummary a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(RunningSummary, MeanStdString) {
+  RunningSummary s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_EQ(s.mean_std_string(2), "2.00(1.00)");
+}
+
+TEST(Percentile, OrderStatistics) {
+  std::vector<double> data = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 50.0), 2.5);
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps into first bin
+  h.add(100.0);   // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.counts()[0], 2.0);
+  EXPECT_DOUBLE_EQ(h.counts()[4], 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+}
+
+TEST(HistogramTest, EdgesAndCenters) {
+  Histogram h(0.0, 4.0, 4);
+  const auto edges = h.edges();
+  ASSERT_EQ(edges.size(), 5u);
+  EXPECT_DOUBLE_EQ(edges[0], 0.0);
+  EXPECT_DOUBLE_EQ(edges[4], 4.0);
+  EXPECT_DOUBLE_EQ(h.centers()[0], 0.5);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  util::RngStream rng(2, "hist");
+  Histogram h(0.0, 50.0, 25);
+  for (int i = 0; i < 5000; ++i) h.add(rng.uniform(0.0, 50.0));
+  const auto density = h.density();
+  double mass = 0.0;
+  for (double d : density) mass += d * h.bin_width();
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, FromDataSpansRange) {
+  const auto h = Histogram::from_data({1.0, 2.0, 9.0}, 4);
+  EXPECT_DOUBLE_EQ(h.low(), 1.0);
+  EXPECT_DOUBLE_EQ(h.high(), 9.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_THROW(Histogram::from_data({}, 4), std::invalid_argument);
+}
+
+TEST(Smoothing, MovingAveragePreservesConstantSignal) {
+  const std::vector<double> flat(10, 3.0);
+  const auto out = moving_average(flat, 3);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(Smoothing, MovingAverageReducesVariance) {
+  util::RngStream rng(3, "smooth");
+  std::vector<double> noisy;
+  for (int i = 0; i < 200; ++i) noisy.push_back(rng.normal(0.0, 1.0));
+  const auto smooth = moving_average(noisy, 9);
+  const auto raw_summary = summarize(noisy);
+  const auto smooth_summary = summarize(smooth);
+  EXPECT_LT(smooth_summary.variance(), raw_summary.variance() * 0.5);
+}
+
+TEST(Smoothing, GaussianKernelMassConserving) {
+  std::vector<double> spike(21, 0.0);
+  spike[10] = 100.0;
+  const auto out = gaussian_smooth(spike, 2.0);
+  double mass = 0.0;
+  for (double v : out) mass += v;
+  EXPECT_NEAR(mass, 100.0, 0.5);
+  EXPECT_LT(out[10], 100.0);
+  EXPECT_GT(out[8], 0.0);
+}
+
+TEST(Smoothing, HistogramSmoothingKeepsTotalCount) {
+  Histogram h(0.0, 10.0, 10);
+  util::RngStream rng(4, "smooth-h");
+  for (int i = 0; i < 1000; ++i) h.add(rng.exponential(2.0));
+  for (const SmoothingKind kind : {SmoothingKind::moving_average, SmoothingKind::gaussian}) {
+    const Histogram s = smooth_histogram(h, kind, 3.0);
+    double before = 0.0, after = 0.0;
+    for (double c : h.counts()) before += c;
+    for (double c : s.counts()) after += c;
+    EXPECT_NEAR(before, after, 1e-6);
+  }
+}
+
+TEST(Smoothing, RejectsBadParameters) {
+  EXPECT_THROW(moving_average({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(gaussian_smooth({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(KsTest, AcceptsMatchingDistribution) {
+  util::RngStream rng(5, "ks");
+  dist::ExponentialDistribution d(100.0);
+  std::vector<double> data;
+  for (int i = 0; i < 2000; ++i) data.push_back(d.sample(rng));
+  const TestResult r = ks_test(data, d);
+  EXPECT_LT(r.statistic, 0.05);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, RejectsWrongDistribution) {
+  util::RngStream rng(5, "ks2");
+  dist::ExponentialDistribution actual(100.0);
+  dist::ExponentialDistribution claimed(200.0);
+  std::vector<double> data;
+  for (int i = 0; i < 2000; ++i) data.push_back(actual.sample(rng));
+  const TestResult r = ks_test(data, claimed);
+  EXPECT_GT(r.statistic, 0.1);
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(KsTest, TwoSampleSameSourceAccepted) {
+  util::RngStream rng(6, "ks3");
+  std::vector<double> a, b;
+  for (int i = 0; i < 1500; ++i) a.push_back(rng.gamma(2.0, 5.0));
+  for (int i = 0; i < 1500; ++i) b.push_back(rng.gamma(2.0, 5.0));
+  const TestResult r = ks_test_two_sample(a, b);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, TwoSampleDifferentSourcesRejected) {
+  util::RngStream rng(6, "ks4");
+  std::vector<double> a, b;
+  for (int i = 0; i < 1500; ++i) a.push_back(rng.gamma(2.0, 5.0));
+  for (int i = 0; i < 1500; ++i) b.push_back(rng.gamma(2.0, 9.0));
+  const TestResult r = ks_test_two_sample(a, b);
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(KolmogorovQ, KnownBehaviour) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_GT(kolmogorov_q(0.5), kolmogorov_q(1.0));
+  EXPECT_LT(kolmogorov_q(2.0), 0.001);
+}
+
+TEST(ChiSquare, AcceptsMatchingCounts) {
+  const std::vector<double> expected = {100, 100, 100, 100};
+  const std::vector<double> observed = {105, 95, 102, 98};
+  const TestResult r = chi_square_test(observed, expected);
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(ChiSquare, RejectsBadCounts) {
+  const std::vector<double> expected = {100, 100, 100, 100};
+  const std::vector<double> observed = {160, 40, 150, 50};
+  const TestResult r = chi_square_test(observed, expected);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ChiSquare, PoolsSparseBins) {
+  // Bins with tiny expectations must be pooled, not blow up the statistic.
+  const std::vector<double> expected = {3.0, 3.0, 200.0, 3.0, 3.0};
+  const std::vector<double> observed = {4, 3, 199, 2, 4};
+  const TestResult r = chi_square_test(observed, expected);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(ChiSquare, AllSparseBinsCollapseToError) {
+  // When everything pools into one bin there is no test to run.
+  EXPECT_THROW(chi_square_test({1, 1}, {0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(ChiSquare, RejectsMismatchedInput) {
+  EXPECT_THROW(chi_square_test({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(chi_square_test({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlgen::stats

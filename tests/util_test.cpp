@@ -1,0 +1,254 @@
+// Unit tests for src/util: RNG streams, numeric routines, plotting, tables,
+// string helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/ascii_plot.h"
+#include "util/numeric.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/svg.h"
+#include "util/table.h"
+
+namespace wlgen::util {
+namespace {
+
+TEST(RngStream, SameSeedSameSequence) {
+  RngStream a(7, 1);
+  RngStream b(7, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(RngStream, DifferentStreamsDiffer) {
+  RngStream a(7, 1);
+  RngStream b(7, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngStream, LabelConstructionIsStable) {
+  RngStream a(7, "user/3");
+  RngStream b(7, "user/3");
+  EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(RngStream, ForkIndependence) {
+  RngStream root(7, 0);
+  RngStream child1 = root.fork("alpha");
+  RngStream child2 = root.fork("beta");
+  EXPECT_NE(child1.uniform01(), child2.uniform01());
+}
+
+TEST(RngStream, UniformRange) {
+  RngStream rng(1, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngStream, UniformIntInclusive) {
+  RngStream rng(1, 0);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(3));
+}
+
+TEST(RngStream, ExponentialMeanApproximatelyCorrect) {
+  RngStream rng(99, 0);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(RngStream, GammaMeanApproximatelyCorrect) {
+  RngStream rng(99, 0);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.gamma(2.0, 10.0);
+  EXPECT_NEAR(sum / n, 20.0, 1.0);
+}
+
+TEST(RngStream, CategoricalRespectsWeights) {
+  RngStream rng(5, 0);
+  std::vector<double> weights = {1.0, 3.0};
+  int count1 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.categorical(weights) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.03);
+}
+
+TEST(RngStream, CategoricalRejectsBadInput) {
+  RngStream rng(5, 0);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(RngStream, BernoulliEdges) {
+  RngStream rng(5, 0);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Numeric, SimpsonIntegratesPolynomialExactly) {
+  // Simpson is exact for cubics.
+  const auto f = [](double x) { return x * x * x - 2.0 * x + 1.0; };
+  const double got = simpson(f, 0.0, 2.0, 8);
+  const double expected = 4.0 - 4.0 + 2.0;  // x^4/4 - x^2 + x over [0,2]
+  EXPECT_NEAR(got, expected, 1e-12);
+}
+
+TEST(Numeric, SimpsonHandlesOddSubintervalCount) {
+  const auto f = [](double x) { return x; };
+  EXPECT_NEAR(simpson(f, 0.0, 1.0, 3), 0.5, 1e-12);
+}
+
+TEST(Numeric, SimpsonEmptyInterval) {
+  EXPECT_DOUBLE_EQ(simpson([](double) { return 1.0; }, 2.0, 2.0, 10), 0.0);
+}
+
+TEST(Numeric, SimpsonTabulatedMatchesFunctional) {
+  std::vector<double> values;
+  const std::size_t n = 101;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / 100.0;
+    values.push_back(std::exp(-x));
+  }
+  const double got = simpson_tabulated(values, 0.01);
+  EXPECT_NEAR(got, 1.0 - std::exp(-1.0), 1e-8);
+}
+
+TEST(Numeric, SimpsonTabulatedEvenPointCount) {
+  // 4 points: Simpson over 3 + trapezoid correction for the tail interval.
+  std::vector<double> values = {0.0, 1.0, 2.0, 3.0};
+  EXPECT_NEAR(simpson_tabulated(values, 1.0), 4.5, 1e-12);
+}
+
+TEST(Numeric, RegularizedGammaPKnownValues) {
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(regularized_gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(regularized_gamma_p(0.5, 2.0), std::erf(std::sqrt(2.0)), 1e-10);
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+}
+
+TEST(Numeric, RegularizedGammaPMonotone) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 20.0; x += 0.5) {
+    const double cur = regularized_gamma_p(2.5, x);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-6);
+}
+
+TEST(Numeric, InterpLinearInterpolatesAndClamps) {
+  std::vector<double> xs = {0.0, 1.0, 2.0};
+  std::vector<double> ys = {0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 1.5), 25.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 9.0), 40.0);
+}
+
+TEST(Numeric, InterpInverseRoundTrips) {
+  std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys = {0.0, 0.2, 0.7, 1.0};
+  for (double y : {0.0, 0.1, 0.2, 0.5, 0.9, 1.0}) {
+    const double x = interp_inverse(xs, ys, y);
+    EXPECT_NEAR(interp_linear(xs, ys, x), y, 1e-12);
+  }
+}
+
+TEST(Numeric, LinspaceEndpoints) {
+  const auto v = linspace(1.0, 3.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 3.0);
+  EXPECT_DOUBLE_EQ(v[2], 2.0);
+}
+
+TEST(AsciiPlot, CurveContainsMarks) {
+  const auto plot = ascii_curve({0, 1, 2}, {0, 1, 0});
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, HistogramBarsScale) {
+  const auto plot = ascii_histogram({0, 1, 2}, {1, 10});
+  EXPECT_NE(plot.find('#'), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsMismatchedInput) {
+  EXPECT_THROW(ascii_curve({0, 1}, {0}), std::invalid_argument);
+  EXPECT_THROW(ascii_histogram({0, 1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Svg, PlotProducesDocument) {
+  SvgSeries s;
+  s.xs = {0, 1, 2};
+  s.ys = {0, 1, 4};
+  s.label = "test";
+  const std::string svg = svg_plot({s});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("test"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedRows) {
+  TextTable t({"a", "long_header"});
+  t.add_row({"1", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, MeanStdFormat) {
+  EXPECT_EQ(TextTable::mean_std(1.5, 0.25), "1.50(0.25)");
+}
+
+TEST(Strings, SplitAndTrim) {
+  const auto pieces = split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, SplitWhitespaceDiscardsEmpty) {
+  const auto pieces = split_whitespace("  a\t b\nc  ");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(Strings, ParseNumbers) {
+  EXPECT_EQ(parse_double("1.5e3").value(), 1500.0);
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_FALSE(parse_int("4.2").has_value());
+}
+
+TEST(Strings, JoinAndLower) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("h", "he"));
+}
+
+}  // namespace
+}  // namespace wlgen::util

@@ -1,0 +1,207 @@
+// Tests for multi-client NFS topology and the statistical validation module.
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/fsc.h"
+#include "core/presets.h"
+#include "core/usim.h"
+#include "core/validation.h"
+#include "dist/basic.h"
+#include "fsmodel/nfs_model.h"
+
+namespace wlgen::core {
+namespace {
+
+UsageLog generate_log(std::size_t users, std::size_t sessions, std::size_t clients = 1,
+                      fsmodel::NfsModel** model_out = nullptr,
+                      sim::Simulation* simulation = nullptr) {
+  static std::unique_ptr<sim::Simulation> owned_sim;
+  static std::unique_ptr<fsmodel::NfsModel> owned_model;
+  sim::Simulation* sim_ptr = simulation;
+  if (sim_ptr == nullptr) {
+    owned_sim = std::make_unique<sim::Simulation>();
+    sim_ptr = owned_sim.get();
+  }
+  fs::SimulatedFileSystem fsys;
+  fsmodel::NfsParams params;
+  params.num_clients = clients;
+  owned_model = std::make_unique<fsmodel::NfsModel>(*sim_ptr, params);
+  if (model_out != nullptr) *model_out = owned_model.get();
+  FscConfig fsc_config;
+  fsc_config.num_users = users;
+  FileSystemCreator fsc(fsys, di86_file_profiles(), fsc_config);
+  const CreatedFileSystem manifest = fsc.create();
+  UsimConfig config;
+  config.num_users = users;
+  config.sessions_per_user = sessions;
+  config.client_machines = clients;
+  UserSimulator usim(*sim_ptr, fsys, *owned_model, manifest, default_population(), config);
+  usim.run();
+  return usim.log();
+}
+
+TEST(MultiClient, RejectsZeroClients) {
+  sim::Simulation simulation;
+  fsmodel::NfsParams params;
+  params.num_clients = 0;
+  EXPECT_THROW(fsmodel::NfsModel(simulation, params), std::invalid_argument);
+}
+
+TEST(MultiClient, OpsRouteToOwningClient) {
+  sim::Simulation simulation;
+  fsmodel::NfsParams params;
+  params.num_clients = 3;
+  fsmodel::NfsModel nfs(simulation, params);
+  ASSERT_EQ(nfs.num_clients(), 3u);
+
+  fsmodel::FsOp op;
+  op.type = fsmodel::FsOpType::read;
+  op.file_id = 1;
+  op.size = 1024;
+  op.client = 2;
+  sim::execute_chain(simulation, nfs.plan(op), [](double) {});
+  simulation.run();
+  EXPECT_EQ(nfs.client_cache(2).misses(), 1u);
+  EXPECT_EQ(nfs.client_cache(0).misses() + nfs.client_cache(0).hits(), 0u);
+  EXPECT_EQ(nfs.client_cache(1).misses() + nfs.client_cache(1).hits(), 0u);
+}
+
+TEST(MultiClient, CachesArePrivatePerClient) {
+  sim::Simulation simulation;
+  fsmodel::NfsParams params;
+  params.num_clients = 2;
+  fsmodel::NfsModel nfs(simulation, params);
+
+  const auto read_on = [&](std::uint32_t client) {
+    fsmodel::FsOp op;
+    op.type = fsmodel::FsOpType::read;
+    op.file_id = 7;
+    op.size = 512;
+    op.client = client;
+    double elapsed = -1.0;
+    sim::execute_chain(simulation, nfs.plan(op), [&](double t) { elapsed = t; });
+    simulation.run();
+    return elapsed;
+  };
+  const double cold0 = read_on(0);
+  const double warm0 = read_on(0);
+  // Client 1 misses its own cache but hits the server cache (warm server).
+  const double cross1 = read_on(1);
+  EXPECT_LT(warm0, cold0 / 10.0);
+  EXPECT_GT(cross1, warm0 * 2.0);   // had to cross the network
+  EXPECT_LT(cross1, cold0);         // but the server cache spared the disk
+}
+
+TEST(MultiClient, UnlinkInvalidatesAllClients) {
+  sim::Simulation simulation;
+  fsmodel::NfsParams params;
+  params.num_clients = 2;
+  fsmodel::NfsModel nfs(simulation, params);
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    fsmodel::FsOp open;
+    open.type = fsmodel::FsOpType::open;
+    open.file_id = 9;
+    open.client = c;
+    sim::execute_chain(simulation, nfs.plan(open), [](double) {});
+    simulation.run();
+  }
+  EXPECT_TRUE(nfs.client_attr_cache(0).contains(9));
+  EXPECT_TRUE(nfs.client_attr_cache(1).contains(9));
+  fsmodel::FsOp unlink;
+  unlink.type = fsmodel::FsOpType::unlink;
+  unlink.file_id = 9;
+  unlink.client = 0;
+  sim::execute_chain(simulation, nfs.plan(unlink), [](double) {});
+  simulation.run();
+  EXPECT_FALSE(nfs.client_attr_cache(0).contains(9));
+  EXPECT_FALSE(nfs.client_attr_cache(1).contains(9));
+}
+
+TEST(MultiClient, SpreadingUsersRelievesTheClientCpu) {
+  // 4 zero-think users on 1 workstation vs on 4 workstations: the shared
+  // server disk dominates either way (so end-to-end response barely moves —
+  // bench/ablation_topology quantifies that), but the per-client CPU load
+  // must drop roughly 4x, and response must not get *worse*.
+  struct Point {
+    double response_per_byte;
+    double client0_cpu_util;
+  };
+  const auto run_topology = [](std::size_t clients) {
+    sim::Simulation simulation;
+    fs::SimulatedFileSystem fsys;
+    fsmodel::NfsParams params;
+    params.num_clients = clients;
+    fsmodel::NfsModel nfs(simulation, params);
+    FscConfig fsc_config;
+    fsc_config.num_users = 4;
+    FileSystemCreator fsc(fsys, di86_file_profiles(), fsc_config);
+    const CreatedFileSystem manifest = fsc.create();
+    UsimConfig config;
+    config.num_users = 4;
+    config.sessions_per_user = 8;
+    config.client_machines = clients;
+    Population population;
+    population.groups.push_back({extremely_heavy_user(), 1.0});
+    population.validate_and_normalize();
+    UserSimulator usim(simulation, fsys, nfs, manifest, population, config);
+    usim.run();
+    return Point{UsageAnalyzer(usim.log()).response_per_byte_us(),
+                 nfs.client_cpu(0).utilization()};
+  };
+  const Point shared = run_topology(1);
+  const Point spread = run_topology(4);
+  EXPECT_LT(spread.client0_cpu_util, shared.client0_cpu_util * 0.5);
+  EXPECT_LE(spread.response_per_byte, shared.response_per_byte * 1.05);
+}
+
+TEST(Validation, GeneratedWorkloadPassesItsOwnSpec) {
+  const UsageLog log = generate_log(1, 120);
+  const ValidationReport report = validate_log(log, heavy_user());
+  EXPECT_FALSE(report.checks.empty());
+  for (const auto& check : report.checks) {
+    EXPECT_TRUE(check.passed) << check.measure << ": expected " << check.expected_mean
+                              << " measured " << check.measured_mean << " (rel err "
+                              << check.relative_error * 100.0 << "%, KS p " << check.ks_p_value
+                              << ")";
+  }
+  EXPECT_TRUE(report.all_passed());
+  EXPECT_NE(report.render().find("pass"), std::string::npos);
+}
+
+TEST(Validation, DetectsWrongAccessSizeSpec) {
+  const UsageLog log = generate_log(1, 40);
+  UserType wrong = heavy_user();
+  wrong.access_size_bytes = make_dist<dist::ExponentialDistribution>(4096.0);  // not what ran
+  const ValidationReport report = validate_log(log, wrong);
+  bool access_failed = false;
+  for (const auto& check : report.checks) {
+    if (check.measure == "read request size (B)") access_failed = !check.passed;
+  }
+  EXPECT_TRUE(access_failed);
+  EXPECT_FALSE(report.all_passed());
+}
+
+TEST(Validation, DetectsWrongTouchProbability) {
+  const UsageLog log = generate_log(1, 60);
+  UserType wrong = heavy_user();
+  for (auto& profile : wrong.usage) {
+    if (profile.category.label() == "REG/NOTES/RDONLY") profile.prob_accessing_category = 0.05;
+  }
+  const ValidationReport report = validate_log(log, wrong);
+  bool touch_failed = false;
+  for (const auto& check : report.checks) {
+    if (check.measure == "REG/NOTES/RDONLY touch prob") touch_failed = !check.passed;
+  }
+  EXPECT_TRUE(touch_failed);
+}
+
+TEST(Validation, EmptyLogProducesNoSpuriousPasses) {
+  UsageLog empty;
+  const ValidationReport report = validate_log(empty, heavy_user());
+  // Touch probabilities are checked (all measured 0) and must fail.
+  EXPECT_FALSE(report.all_passed());
+}
+
+}  // namespace
+}  // namespace wlgen::core
