@@ -49,6 +49,16 @@ void BM_CdfTableSample(benchmark::State& state) {
 }
 BENCHMARK(BM_CdfTableSample)->Arg(16)->Arg(256)->Arg(4096);
 
+// Reference path: O(log n) binary search over the F column.  Kept on the
+// scoreboard to document the alias method's flat profile against it.
+void BM_CdfTableSampleBinarySearch(benchmark::State& state) {
+  dist::ExponentialDistribution d(1024.0);
+  const dist::CdfTable table = dist::build_cdf_table(d, static_cast<std::size_t>(state.range(0)));
+  util::RngStream rng(1, "bm");
+  for (auto _ : state) benchmark::DoNotOptimize(table.sample_binary(rng));
+}
+BENCHMARK(BM_CdfTableSampleBinarySearch)->Arg(16)->Arg(256)->Arg(4096);
+
 void BM_SimulationEventLoop(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulation sim;

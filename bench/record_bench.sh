@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Records the micro-benchmark scoreboard to BENCH_micro.json (the repo's
+# perf trajectory; see DESIGN.md).  Also runnable via the CMake target:
+#
+#   cmake --build build -t record_bench
+#
+# Usage: bench/record_bench.sh [path-to-micro_bench] [output.json]
+set -euo pipefail
+
+BIN="${1:-build/micro_bench}"
+OUT="${2:-BENCH_micro.json}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found or not executable (build with: cmake --build build -t micro_bench)" >&2
+  exit 1
+fi
+
+"$BIN" --benchmark_format=json --benchmark_min_time=0.2 --benchmark_repetitions=1 > "$OUT"
+echo "wrote $OUT"

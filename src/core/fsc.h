@@ -7,6 +7,7 @@
 
 #include "core/workload.h"
 #include "fs/filesystem.h"
+#include "util/rng.h"
 
 namespace wlgen::core {
 

@@ -1,0 +1,138 @@
+#include "dist/basic.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "dist/format.h"
+#include "util/rng.h"
+
+namespace wlgen::dist {
+
+// ---------------------------------------------------------------------------
+// ConstantDistribution
+// ---------------------------------------------------------------------------
+
+ConstantDistribution::ConstantDistribution(double value) : value_(value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("ConstantDistribution: value must be finite");
+  }
+}
+
+double ConstantDistribution::sample(util::RngStream&) const { return value_; }
+
+double ConstantDistribution::pdf(double) const { return 0.0; }
+
+double ConstantDistribution::cdf(double x) const { return x >= value_ ? 1.0 : 0.0; }
+
+double ConstantDistribution::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("ConstantDistribution::quantile: p outside [0, 1]");
+  }
+  return value_;
+}
+
+std::string ConstantDistribution::describe() const {
+  return "constant(" + detail::format_value(value_) + ")";
+}
+
+DistributionPtr ConstantDistribution::clone() const {
+  return std::make_unique<ConstantDistribution>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// UniformDistribution
+// ---------------------------------------------------------------------------
+
+UniformDistribution::UniformDistribution(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (!(std::isfinite(lo) && std::isfinite(hi) && hi > lo)) {
+    throw std::invalid_argument("UniformDistribution: requires finite lo < hi");
+  }
+  inv_span_ = 1.0 / (hi_ - lo_);
+}
+
+double UniformDistribution::sample(util::RngStream& rng) const {
+  return lo_ + (hi_ - lo_) * rng.uniform01();
+}
+
+double UniformDistribution::pdf(double x) const {
+  return (x >= lo_ && x < hi_) ? inv_span_ : 0.0;
+}
+
+double UniformDistribution::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) * inv_span_;
+}
+
+double UniformDistribution::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("UniformDistribution::quantile: p outside [0, 1]");
+  }
+  return lo_ + (hi_ - lo_) * p;
+}
+
+std::string UniformDistribution::describe() const {
+  return "uniform(" + detail::format_value(lo_) + ", " + detail::format_value(hi_) + ")";
+}
+
+DistributionPtr UniformDistribution::clone() const {
+  return std::make_unique<UniformDistribution>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// ExponentialDistribution
+// ---------------------------------------------------------------------------
+
+ExponentialDistribution::ExponentialDistribution(double theta, double offset)
+    : theta_(theta), offset_(offset) {
+  if (!(std::isfinite(theta) && theta > 0.0)) {
+    throw std::invalid_argument("ExponentialDistribution: theta must be > 0");
+  }
+  if (!std::isfinite(offset)) {
+    throw std::invalid_argument("ExponentialDistribution: offset must be finite");
+  }
+  neg_theta_ = -theta_;
+  inv_theta_ = 1.0 / theta_;
+}
+
+double ExponentialDistribution::sample(util::RngStream& rng) const {
+  // Inverse transform; log1p(-u) is finite for u in [0, 1).
+  return offset_ + neg_theta_ * std::log1p(-rng.uniform01());
+}
+
+double ExponentialDistribution::pdf(double x) const {
+  const double y = x - offset_;
+  if (y < 0.0) return 0.0;
+  return inv_theta_ * std::exp(-y * inv_theta_);
+}
+
+double ExponentialDistribution::cdf(double x) const {
+  const double y = x - offset_;
+  if (y <= 0.0) return 0.0;
+  return -std::expm1(-y * inv_theta_);
+}
+
+double ExponentialDistribution::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("ExponentialDistribution::quantile: p outside [0, 1]");
+  }
+  if (p == 1.0) return std::numeric_limits<double>::infinity();
+  return offset_ + neg_theta_ * std::log1p(-p);
+}
+
+double ExponentialDistribution::upper_bound() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+std::string ExponentialDistribution::describe() const {
+  if (offset_ == 0.0) return "exp(theta=" + detail::format_value(theta_) + ")";
+  return "exp(theta=" + detail::format_value(theta_) + ", s=" + detail::format_value(offset_) + ")";
+}
+
+DistributionPtr ExponentialDistribution::clone() const {
+  return std::make_unique<ExponentialDistribution>(*this);
+}
+
+}  // namespace wlgen::dist

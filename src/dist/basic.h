@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+
+#include "dist/distribution.h"
+
+namespace wlgen::dist {
+
+/// Degenerate point mass at `value` — used for "constant think time" style
+/// workload knobs (e.g. the paper's 0 / 5000 / 20000 µs user classes).
+class ConstantDistribution : public Distribution {
+ public:
+  explicit ConstantDistribution(double value);
+
+  double value() const { return value_; }
+
+  double sample(util::RngStream& rng) const override;
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return value_; }
+  double variance() const override { return 0.0; }
+  double lower_bound() const override { return value_; }
+  double upper_bound() const override { return value_; }
+  std::string describe() const override;
+  DistributionPtr clone() const override;
+
+ private:
+  double value_;
+};
+
+/// Continuous uniform on [lo, hi).
+class UniformDistribution : public Distribution {
+ public:
+  UniformDistribution(double lo, double hi);
+
+  double sample(util::RngStream& rng) const override;
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double variance() const override { return (hi_ - lo_) * (hi_ - lo_) / 12.0; }
+  double lower_bound() const override { return lo_; }
+  double upper_bound() const override { return hi_; }
+  std::string describe() const override;
+  DistributionPtr clone() const override;
+
+ private:
+  double lo_, hi_;
+  double inv_span_;  ///< precomputed 1 / (hi - lo)
+};
+
+/// Shifted exponential: X = offset + Exp(theta), the single-phase special
+/// case of the paper's phase-type family (eq. 5.1 with one phase).
+///
+/// Sampling is the branch-free inverse transform offset - theta*log1p(-u)
+/// with -theta precomputed, so a draw is one uniform + one log.
+class ExponentialDistribution : public Distribution {
+ public:
+  /// theta > 0 (mean of the unshifted part); offset shifts the support.
+  explicit ExponentialDistribution(double theta, double offset = 0.0);
+
+  double theta() const { return theta_; }
+  double offset() const { return offset_; }
+
+  double sample(util::RngStream& rng) const override;
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return offset_ + theta_; }
+  double variance() const override { return theta_ * theta_; }
+  double lower_bound() const override { return offset_; }
+  double upper_bound() const override;
+  std::string describe() const override;
+  DistributionPtr clone() const override;
+
+ private:
+  double theta_, offset_;
+  double neg_theta_;  ///< precomputed -theta for the inverse transform
+  double inv_theta_;  ///< precomputed 1 / theta for pdf/cdf
+};
+
+}  // namespace wlgen::dist

@@ -1,0 +1,167 @@
+#include "dist/fitting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace wlgen::dist {
+
+namespace {
+
+constexpr double kTinyTheta = 1e-9;
+
+double mean_of(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double variance_of(const std::vector<double>& v, double mean) {
+  double ss = 0.0;
+  for (double x : v) ss += (x - mean) * (x - mean);
+  return ss / static_cast<double>(v.size());
+}
+
+/// One-sample KS D of sorted data against d.  Deliberately local: dist is a
+/// lower layer than stats (stats/tests.h consumes dist::Distribution), so
+/// fit_best cannot call stats::ks_statistic without inverting the layering.
+double ks_d(const std::vector<double>& sorted, const Distribution& d) {
+  const double n = static_cast<double>(sorted.size());
+  double D = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double F = d.cdf(sorted[i]);
+    D = std::max(D, std::max(F - static_cast<double>(i) / n,
+                             static_cast<double>(i + 1) / n - F));
+  }
+  return D;
+}
+
+}  // namespace
+
+double sample_mean(const std::vector<double>& data) {
+  if (data.empty()) throw std::invalid_argument("sample_mean: empty data");
+  return mean_of(data);
+}
+
+double sample_variance(const std::vector<double>& data) {
+  if (data.empty()) throw std::invalid_argument("sample_variance: empty data");
+  return variance_of(data, mean_of(data));
+}
+
+Clustering kmeans_1d(const std::vector<double>& data, std::size_t k) {
+  if (data.empty()) throw std::invalid_argument("kmeans_1d: empty data");
+  if (k == 0) throw std::invalid_argument("kmeans_1d: k must be >= 1");
+
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> distinct;
+  std::unique_copy(sorted.begin(), sorted.end(), std::back_inserter(distinct));
+  k = std::min(k, distinct.size());
+
+  // Seed centroids at evenly spaced distinct values; in 1-D the optimal
+  // clusters are contiguous runs of the sorted data, so Lloyd iterations
+  // only move the cut points between consecutive centroids.
+  std::vector<double> centroids(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t idx = k == 1 ? distinct.size() / 2
+                                   : i * (distinct.size() - 1) / (k - 1);
+    centroids[i] = distinct[idx];
+  }
+
+  const std::size_t n = sorted.size();
+  std::vector<std::size_t> cuts(k + 1, 0);
+  for (int iter = 0; iter < 200; ++iter) {
+    cuts.front() = 0;
+    cuts.back() = n;
+    for (std::size_t j = 1; j < k; ++j) {
+      const double boundary = 0.5 * (centroids[j - 1] + centroids[j]);
+      const auto it = std::lower_bound(sorted.begin(), sorted.end(), boundary);
+      cuts[j] = std::max(cuts[j - 1], static_cast<std::size_t>(it - sorted.begin()));
+    }
+    bool changed = false;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (cuts[j + 1] == cuts[j]) continue;  // empty run keeps its centroid
+      double sum = 0.0;
+      for (std::size_t i = cuts[j]; i < cuts[j + 1]; ++i) sum += sorted[i];
+      const double c = sum / static_cast<double>(cuts[j + 1] - cuts[j]);
+      if (std::fabs(c - centroids[j]) > 1e-12) changed = true;
+      centroids[j] = c;
+    }
+    if (!changed) break;
+  }
+
+  Clustering out;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (cuts[j + 1] == cuts[j]) continue;
+    out.centroids.push_back(centroids[j]);
+    out.groups.emplace_back(sorted.begin() + static_cast<std::ptrdiff_t>(cuts[j]),
+                            sorted.begin() + static_cast<std::ptrdiff_t>(cuts[j + 1]));
+  }
+  return out;
+}
+
+ExponentialDistribution fit_exponential(const std::vector<double>& data) {
+  if (data.empty()) throw std::invalid_argument("fit_exponential: empty data");
+  return ExponentialDistribution(std::max(mean_of(data), kTinyTheta));
+}
+
+PhaseTypeExponential fit_phase_exponential(const std::vector<double>& data,
+                                           std::size_t phases) {
+  if (data.empty()) throw std::invalid_argument("fit_phase_exponential: empty data");
+  const Clustering clusters = kmeans_1d(data, phases);
+  const double n = static_cast<double>(data.size());
+  std::vector<ExpPhase> out;
+  out.reserve(clusters.groups.size());
+  for (const auto& group : clusters.groups) {
+    const double offset = group.front();  // groups are sorted runs
+    const double theta = std::max(mean_of(group) - offset, kTinyTheta);
+    out.push_back({static_cast<double>(group.size()) / n, theta, offset});
+  }
+  return PhaseTypeExponential(std::move(out));
+}
+
+MultiStageGamma fit_multistage_gamma(const std::vector<double>& data, std::size_t stages) {
+  if (data.empty()) throw std::invalid_argument("fit_multistage_gamma: empty data");
+  const Clustering clusters = kmeans_1d(data, stages);
+  const double n = static_cast<double>(data.size());
+  std::vector<GammaStage> out;
+  out.reserve(clusters.groups.size());
+  for (const auto& group : clusters.groups) {
+    const double offset = group.front();
+    const double m = std::max(mean_of(group) - offset, kTinyTheta);
+    const double v = std::max(variance_of(group, mean_of(group)), m * m * 1e-6);
+    out.push_back({static_cast<double>(group.size()) / n, m * m / v, v / m, offset});
+  }
+  return MultiStageGamma(std::move(out));
+}
+
+BestFit fit_best(const std::vector<double>& data, std::size_t max_components) {
+  if (data.empty()) throw std::invalid_argument("fit_best: empty data");
+  if (max_components == 0) {
+    throw std::invalid_argument("fit_best: max_components must be >= 1");
+  }
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  BestFit best;
+  best.ks_statistic = std::numeric_limits<double>::infinity();
+  const auto consider = [&](DistributionPtr candidate, const std::string& family) {
+    const double D = ks_d(sorted, *candidate);
+    if (D < best.ks_statistic) {
+      best.distribution = std::move(candidate);
+      best.family = family;
+      best.ks_statistic = D;
+    }
+  };
+
+  consider(std::make_unique<ExponentialDistribution>(fit_exponential(data)), "exponential");
+  for (std::size_t c = 1; c <= max_components; ++c) {
+    consider(std::make_unique<PhaseTypeExponential>(fit_phase_exponential(data, c)),
+             "phase_exponential");
+    consider(std::make_unique<MultiStageGamma>(fit_multistage_gamma(data, c)),
+             "multistage_gamma");
+  }
+  return best;
+}
+
+}  // namespace wlgen::dist

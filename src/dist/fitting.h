@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/basic.h"
+#include "dist/distribution.h"
+#include "dist/multistage_gamma.h"
+#include "dist/phase_exponential.h"
+
+namespace wlgen::dist {
+
+/// Arithmetic mean of `data` (throws std::invalid_argument when empty).
+double sample_mean(const std::vector<double>& data);
+
+/// Population variance of `data` (throws std::invalid_argument when empty).
+double sample_variance(const std::vector<double>& data);
+
+/// Result of 1-D k-means: centroids ascending, groups[i] holding the data
+/// points assigned to centroids[i] (every group non-empty).
+struct Clustering {
+  std::vector<double> centroids;
+  std::vector<std::vector<double>> groups;
+};
+
+/// Lloyd's algorithm on the line.  k is clamped to the number of distinct
+/// values; throws std::invalid_argument when data is empty or k == 0.
+///
+/// This is the preprocessing step of the paper's mixture fitting: each
+/// cluster of the measured sample becomes one phase/stage of the fitted
+/// family.
+Clustering kmeans_1d(const std::vector<double>& data, std::size_t k);
+
+/// Moment-matched exponential: theta = mean(data).
+ExponentialDistribution fit_exponential(const std::vector<double>& data);
+
+/// Phase-type exponential with `phases` phases: k-means clusters the data,
+/// then each cluster becomes a phase with weight = cluster fraction,
+/// s = cluster minimum and theta = cluster mean - s (method of moments on
+/// the shifted cluster).
+PhaseTypeExponential fit_phase_exponential(const std::vector<double>& data, std::size_t phases);
+
+/// Multi-stage gamma with `stages` stages: per cluster, s = minimum and
+/// (alpha, theta) from the shifted cluster's mean/variance
+/// (alpha = m^2/v, theta = v/m).
+MultiStageGamma fit_multistage_gamma(const std::vector<double>& data, std::size_t stages);
+
+/// Winner of a fit tournament across the supported families.
+struct BestFit {
+  DistributionPtr distribution;
+  std::string family;          ///< "exponential", "phase_exponential", "multistage_gamma"
+  double ks_statistic = 0.0;   ///< one-sample KS D of the winner against the data
+};
+
+/// Fits a plain exponential plus phase-type/gamma mixtures with
+/// 1..max_components components and returns the family with the smallest
+/// Kolmogorov-Smirnov D against the empirical CDF.
+BestFit fit_best(const std::vector<double>& data, std::size_t max_components = 3);
+
+}  // namespace wlgen::dist

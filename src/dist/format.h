@@ -1,0 +1,17 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wlgen::dist::detail {
+
+/// Shared number formatting for describe() strings (12 significant digits,
+/// matching core::serialize_distribution's precision).
+inline std::string format_value(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+}  // namespace wlgen::dist::detail

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wlgen::sim {
+
+/// Move-only type-erased `void()` callable with a small-buffer optimisation.
+///
+/// Captures up to kInlineCapacity bytes are stored inline — constructing,
+/// moving and destroying such a callback never touches the heap, which is
+/// what makes scheduling a simulation event allocation-free.  Larger
+/// captures (rare: stage-chain continuations with big state) fall back to a
+/// single heap cell.
+///
+/// Replaces std::function<void()> in the event queue: std::function's
+/// small-buffer is both smaller and unspecified, and its copyability forces
+/// capture-by-shared-state idioms the DES kernel does not need.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventFn() = default;
+  EventFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    // An empty std::function (or null function pointer) wraps to an empty
+    // EventFn, so Simulation's schedule-time validation still rejects it
+    // instead of crashing at dispatch time.
+    if constexpr (requires { fn == nullptr; }) {
+      if (fn == nullptr) return;
+    }
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  ///< move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineCapacity && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static inline const Ops kInlineOps = {
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static inline const Ops kHeapOps = {
+      [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+  };
+
+  void move_from(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity]{};
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace wlgen::sim

@@ -1,46 +1,95 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace wlgen::sim {
 
-void Simulation::schedule(SimTime delay, std::function<void()> action) {
+namespace {
+constexpr std::size_t kArity = 4;
+}
+
+void Simulation::schedule(SimTime delay, EventFn action) {
   if (delay < 0.0) throw std::invalid_argument("Simulation::schedule: negative delay");
   schedule_at(now_ + delay, std::move(action));
 }
 
-void Simulation::schedule_at(SimTime when, std::function<void()> action) {
+void Simulation::schedule_at(SimTime when, EventFn action) {
   if (when < now_) throw std::invalid_argument("Simulation::schedule_at: time in the past");
   if (!action) throw std::invalid_argument("Simulation::schedule_at: empty action");
-  queue_.push(Event{when, next_seq_++, std::move(action)});
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(action);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(action));
+  }
+  heap_.push_back(HeapEntry{when, next_seq_++, slot});
+  sift_up(heap_.size() - 1);
+}
+
+void Simulation::sift_up(std::size_t i) {
+  const HeapEntry item = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(item, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
+}
+
+void Simulation::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry item = heap_[i];
+  while (true) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], item)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = item;
+}
+
+void Simulation::dispatch_top() {
+  const HeapEntry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+
+  // Move the callback out and recycle its slot *before* invoking, so the
+  // action can schedule new events (possibly reusing this very slot).
+  EventFn action = std::move(slots_[top.slot]);
+  free_slots_.push_back(top.slot);
+  now_ = top.when;
+  ++processed_;
+  action();
 }
 
 void Simulation::run(std::size_t max_events) {
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     if (max_events != 0 && processed_ >= max_events) {
       throw std::runtime_error("Simulation::run: event budget exhausted (possible livelock)");
     }
-    // priority_queue::top returns const&; move out via const_cast-free copy of
-    // the small struct members and pop before running so the action can
-    // schedule freely.
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.when;
-    ++processed_;
-    ev.action();
+    dispatch_top();
   }
 }
 
 void Simulation::run_until(SimTime t) {
   if (t < now_) throw std::invalid_argument("Simulation::run_until: time in the past");
-  while (!queue_.empty() && queue_.top().when <= t) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.when;
-    ++processed_;
-    ev.action();
-  }
+  while (!heap_.empty() && heap_.front().when <= t) dispatch_top();
+  // The clock advances to t even when no event was pending — callers use
+  // run_until to model idle wall-clock periods.
   now_ = t;
 }
 

@@ -2,9 +2,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "sim/callback.h"
 
 namespace wlgen::sim {
 
@@ -23,6 +23,13 @@ using SimTime = double;
 ///
 /// Events scheduled for the same instant fire in scheduling order (stable
 /// FIFO tie-break), which the tests rely on.
+///
+/// Engineering (see DESIGN.md "Event core"): the pending set is an intrusive
+/// 4-ary min-heap of 24-byte (when, seq, slot) entries over a pooled arena
+/// of EventFn callbacks.  Scheduling an event with a capture of up to
+/// EventFn::kInlineCapacity bytes performs zero heap allocations once the
+/// arena is warm — the std::function-per-event design this replaces paid one
+/// malloc/free pair per simulated system call.
 class Simulation {
  public:
   Simulation() = default;
@@ -33,38 +40,50 @@ class Simulation {
   SimTime now() const { return now_; }
 
   /// Schedules `action` to run `delay` microseconds from now (delay >= 0).
-  void schedule(SimTime delay, std::function<void()> action);
+  /// Accepts any void() callable; captures <= EventFn::kInlineCapacity bytes
+  /// are stored inline (no allocation).
+  void schedule(SimTime delay, EventFn action);
 
   /// Schedules `action` at absolute time `when` (>= now()).
-  void schedule_at(SimTime when, std::function<void()> action);
+  void schedule_at(SimTime when, EventFn action);
 
   /// Runs until the event queue drains.  `max_events` guards against
   /// runaway self-scheduling loops (0 = unlimited).
   void run(std::size_t max_events = 0);
 
-  /// Runs events with timestamp <= t, then sets now() = t.
+  /// Runs events with timestamp <= t, then sets now() = t — also when the
+  /// queue is already empty, so idle periods still advance the clock.
   void run_until(SimTime t);
 
   /// Number of events executed so far.
   std::uint64_t events_processed() const { return processed_; }
 
   /// Number of events currently pending.
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return heap_.size(); }
 
  private:
-  struct Event {
+  /// Heap entry: cheap to shuffle during sifts (the callback itself never
+  /// moves — it stays put in its arena slot until dispatch).
+  struct HeapEntry {
     SimTime when;
     std::uint64_t seq;
-    std::function<void()> action;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  /// Pops the earliest event and runs it (advancing now_ and processed_).
+  void dispatch_top();
+
+  std::vector<HeapEntry> heap_;          ///< intrusive 4-ary min-heap
+  std::vector<EventFn> slots_;           ///< pooled callback arena
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -304,6 +305,85 @@ TEST(CdfTableClass, QuantileAccuracyImprovesWithResolution) {
     fine_err += std::fabs(fine.quantile(p) - d.quantile(p));
   }
   EXPECT_LT(fine_err, coarse_err);
+}
+
+// ---------------------------------------------------------------------------
+// Alias-method fast path (DESIGN.md "CDF tables"): the O(1) Walker/Vose path
+// and the O(log n) binary-search path sample the same piecewise-linear CDF,
+// and each is deterministic per (seed, stream id).
+// ---------------------------------------------------------------------------
+
+TEST(CdfTableAlias, BothPathsPassChiSquaredAgainstTableCdf) {
+  ExponentialDistribution d(100.0);
+  const CdfTable table = build_cdf_table(d, 256);
+  constexpr int kBins = 20;
+  constexpr int kSamples = 50000;
+  // Equal-probability bins of the table's own (exact) CDF.
+  std::vector<double> edges;
+  for (int b = 1; b < kBins; ++b) {
+    edges.push_back(table.quantile(static_cast<double>(b) / kBins));
+  }
+  for (const bool use_alias : {true, false}) {
+    util::RngStream rng(777, use_alias ? "alias" : "binary");
+    std::vector<double> counts(kBins, 0.0);
+    for (int i = 0; i < kSamples; ++i) {
+      const double v = use_alias ? table.sample(rng) : table.sample_binary(rng);
+      const auto bin = std::upper_bound(edges.begin(), edges.end(), v) - edges.begin();
+      counts[static_cast<std::size_t>(bin)] += 1.0;
+    }
+    const double expected = static_cast<double>(kSamples) / kBins;
+    double chi2 = 0.0;
+    for (double c : counts) chi2 += (c - expected) * (c - expected) / expected;
+    // 99.9th percentile of chi^2 with 19 dof is ~43.8.
+    EXPECT_LT(chi2, 43.8) << (use_alias ? "alias path" : "binary path");
+  }
+}
+
+TEST(CdfTableAlias, BothPathsPassKsAgainstAnalyticCdf) {
+  ExponentialDistribution d(100.0);
+  const CdfTable table = build_cdf_table(d, 1024);
+  constexpr int kSamples = 50000;
+  for (const bool use_alias : {true, false}) {
+    util::RngStream rng(4242, use_alias ? "ks-alias" : "ks-binary");
+    std::vector<double> draws;
+    draws.reserve(kSamples);
+    for (int i = 0; i < kSamples; ++i) {
+      draws.push_back(use_alias ? table.sample(rng) : table.sample_binary(rng));
+    }
+    std::sort(draws.begin(), draws.end());
+    double D = 0.0;
+    const double n = static_cast<double>(draws.size());
+    for (std::size_t i = 0; i < draws.size(); ++i) {
+      const double F = d.cdf(draws[i]);
+      D = std::max(D, std::max(F - static_cast<double>(i) / n,
+                               static_cast<double>(i + 1) / n - F));
+    }
+    // KS critical value at alpha = 0.001 is ~1.95/sqrt(n) ~= 0.0087; leave
+    // headroom for the 1024-knot discretisation of the analytic CDF.
+    EXPECT_LT(D, 0.012) << (use_alias ? "alias path" : "binary path");
+  }
+}
+
+TEST(CdfTableAlias, DeterministicPerSeedAndStreamOnBothPaths) {
+  ExponentialDistribution d(50.0);
+  const CdfTable table = build_cdf_table(d, 64);
+  for (const bool use_alias : {true, false}) {
+    util::RngStream a(123, "det");
+    util::RngStream b(123, "det");
+    for (int i = 0; i < 1000; ++i) {
+      const double va = use_alias ? table.sample(a) : table.sample_binary(a);
+      const double vb = use_alias ? table.sample(b) : table.sample_binary(b);
+      ASSERT_DOUBLE_EQ(va, vb) << (use_alias ? "alias path" : "binary path");
+    }
+  }
+  // Distinct stream ids must produce distinct sequences.
+  util::RngStream a(123, "stream-1");
+  util::RngStream b(123, "stream-2");
+  int collisions = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (table.sample(a) == table.sample(b)) ++collisions;
+  }
+  EXPECT_LT(collisions, 5);
 }
 
 TEST(CdfTableClass, RejectsDegenerateTables) {

@@ -3,11 +3,40 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <new>
 #include <vector>
 
 #include "sim/resource.h"
 #include "sim/simulation.h"
 #include "sim/stages.h"
+
+// Global allocation counter: lets the event-core tests assert that the
+// arena + small-buffer-callback design really schedules without touching
+// the heap (DESIGN.md "Event core").  The operators below intentionally
+// pair std::malloc with std::free; GCC's -Wmismatched-new-delete cannot see
+// through the override.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace wlgen::sim {
 namespace {
@@ -49,6 +78,10 @@ TEST(Simulation, RejectsInvalidScheduling) {
   EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
   EXPECT_THROW(sim.schedule_at(-1.0, [] {}), std::invalid_argument);
   EXPECT_THROW(sim.schedule(1.0, nullptr), std::invalid_argument);
+  // An empty std::function must be rejected at schedule time, not crash
+  // with bad_function_call at dispatch time.
+  std::function<void()> empty_fn;
+  EXPECT_THROW(sim.schedule(1.0, empty_fn), std::invalid_argument);
 }
 
 TEST(Simulation, RunUntilStopsAtBoundary) {
@@ -61,6 +94,76 @@ TEST(Simulation, RunUntilStopsAtBoundary) {
   EXPECT_DOUBLE_EQ(sim.now(), 15.0);
   sim.run();
   EXPECT_EQ(fired, 2);
+}
+
+// Regression: run_until must advance the clock even when nothing is
+// pending — callers use it to model idle wall-clock periods.
+TEST(Simulation, RunUntilOnEmptyQueueStillAdvancesClock) {
+  Simulation sim;
+  sim.run_until(25.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 25.0);
+  EXPECT_EQ(sim.events_processed(), 0u);
+  sim.run_until(25.0);  // idempotent at the boundary
+  EXPECT_DOUBLE_EQ(sim.now(), 25.0);
+  sim.run_until(40.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 40.0);
+  EXPECT_THROW(sim.run_until(10.0), std::invalid_argument);
+}
+
+// Regression: the FIFO tie-break must survive heap restructuring — ties
+// scheduled from inside other events (exercising sift-up/sift-down paths)
+// still fire in scheduling order.
+TEST(Simulation, FifoTieBreakSurvivesInterleavedScheduling) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule(static_cast<double>(i % 5), [&sim, &order, i] {
+      sim.schedule_at(100.0, [&order, i] { order.push_back(i); });
+    });
+  }
+  sim.run();
+  // Outer events fire grouped by time (i%5), FIFO within a group; the inner
+  // ties at t=100 must replay exactly that scheduling order.
+  std::vector<int> expected;
+  for (int r = 0; r < 5; ++r) {
+    for (int i = r; i < 50; i += 5) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+// The point of the event-pool + small-buffer-callback design: once the
+// arena is warm, scheduling and running events with small captures performs
+// zero heap allocations.
+TEST(Simulation, SmallCaptureEventsAllocateNothingAfterWarmup) {
+  Simulation sim;
+  const int n = 1000;
+  int fired = 0;
+  for (int i = 0; i < n; ++i) sim.schedule(static_cast<double>(i), [&fired] { ++fired; });
+  sim.run();  // warm-up grows the heap/arena vectors to steady state
+  ASSERT_EQ(fired, n);
+
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) sim.schedule(static_cast<double>(i), [&fired] { ++fired; });
+  sim.run();
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(fired, 2 * n);
+}
+
+// Captures above EventFn::kInlineCapacity take the heap fallback but must
+// behave identically.
+TEST(Simulation, LargeCaptureEventsStillRunCorrectly) {
+  Simulation sim;
+  struct Big {
+    double payload[16];  // 128 bytes, well past the inline buffer
+  };
+  Big big{};
+  big.payload[0] = 1.0;
+  big.payload[15] = 2.0;
+  double seen = 0.0;
+  sim.schedule(1.0, [big, &seen] { seen = big.payload[0] + big.payload[15]; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 3.0);
 }
 
 TEST(Simulation, EventBudgetGuardsLivelock) {
