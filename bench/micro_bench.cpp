@@ -20,6 +20,24 @@ namespace {
 
 using namespace wlgen;
 
+// Batched uniform path: RngStream::uniform01 serves from a 128-draw block
+// filled in one tight mt19937_64 loop (see DESIGN.md "Batched RNG").
+void BM_RngUniform01(benchmark::State& state) {
+  util::RngStream rng(1, "bm");
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform01());
+}
+BENCHMARK(BM_RngUniform01);
+
+// Reference path: one std::uniform_real_distribution dispatch per draw on
+// the same engine — what uniform01 cost before batching; kept on the
+// scoreboard to document the amortisation.
+void BM_RngUniform01Unbatched(benchmark::State& state) {
+  util::RngStream rng(1, "bm");
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(dist(rng.engine()));
+}
+BENCHMARK(BM_RngUniform01Unbatched);
+
 void BM_SampleExponential(benchmark::State& state) {
   dist::ExponentialDistribution d(1024.0);
   util::RngStream rng(1, "bm");

@@ -1,0 +1,71 @@
+// Microbenchmark (google-benchmark): shard-scaling of runner::ShardedRunner —
+// wall-clock throughput of the same fixed workload (users x sessions against
+// the NFS model, log collection off) as the worker-thread count grows.  The
+// scoreboard entry behind the DESIGN.md scaling table: on an M-core machine
+// BM_ShardedRunner/T should approach T-fold the /1 items-per-second rate
+// until T exceeds M (on a single-core CI container the curve is flat).
+
+#include <benchmark/benchmark.h>
+
+#include "runner/sharded_runner.h"
+
+namespace {
+
+using namespace wlgen;
+
+constexpr std::size_t kUsers = 24;
+constexpr std::size_t kSessions = 4;
+
+void BM_ShardedRunner(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::uint64_t ops = 0;
+  std::uint64_t sessions = 0;
+  for (auto _ : state) {
+    runner::RunnerConfig config;
+    config.num_users = kUsers;
+    config.shards = 4 * threads;  // a few shards per worker
+    config.threads = threads;
+    config.usim.sessions_per_user = kSessions;
+    config.collect_log = false;  // measure the engine, not log retention
+    runner::ShardedRunner run(std::move(config));
+    const auto result = run.run();
+    ops += result.total_ops;
+    sessions += result.sessions_completed;
+    benchmark::DoNotOptimize(result.stats.response_us().mean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kUsers));
+  state.counters["syscalls/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+  state.counters["sessions/s"] =
+      benchmark::Counter(static_cast<double>(sessions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardedRunner)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+// Merge overhead in isolation: the (time, user) stable-sort fold over
+// per-user logs, at a size big enough to expose the O(M log M) term.
+void BM_MergeUserLogs(benchmark::State& state) {
+  const std::size_t users = 64;
+  const std::size_t ops_per_user = static_cast<std::size_t>(state.range(0));
+  std::vector<core::UsageLog> prototype(users);
+  for (std::size_t u = 0; u < users; ++u) {
+    for (std::size_t i = 0; i < ops_per_user; ++i) {
+      core::OpRecord r;
+      r.issue_time_us = static_cast<double>(i * 37 % 1000);
+      r.user = static_cast<std::uint32_t>(u);
+      prototype[u].append(r);
+    }
+  }
+  for (auto _ : state) {
+    std::vector<core::UsageLog> logs = prototype;
+    benchmark::DoNotOptimize(runner::merge_user_logs(std::move(logs)).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(users * ops_per_user));
+}
+BENCHMARK(BM_MergeUserLogs)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -4,11 +4,16 @@
 #
 #   cmake --build build -t record_bench
 #
-# Usage: bench/record_bench.sh [path-to-micro_bench] [output.json]
+# Usage: bench/record_bench.sh [path-to-micro_bench] [output.json] [path-to-micro_runner]
+#
+# When the micro_runner binary exists (third argument, defaulting to the
+# sibling of micro_bench), its shard-scaling entries are merged into the
+# same scoreboard file.
 set -euo pipefail
 
 BIN="${1:-build/micro_bench}"
 OUT="${2:-BENCH_micro.json}"
+RUNNER_BIN="${3:-$(dirname "$BIN")/micro_runner}"
 
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not found or not executable (build with: cmake --build build -t micro_bench)" >&2
@@ -16,4 +21,24 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 "$BIN" --benchmark_format=json --benchmark_min_time=0.2 --benchmark_repetitions=1 > "$OUT"
+
+if [[ -x "$RUNNER_BIN" ]]; then
+  RUNNER_OUT="$(mktemp)"
+  trap 'rm -f "$RUNNER_OUT"' EXIT
+  "$RUNNER_BIN" --benchmark_format=json --benchmark_min_time=0.5 --benchmark_repetitions=1 > "$RUNNER_OUT"
+  python3 - "$OUT" "$RUNNER_OUT" <<'PY'
+import json, sys
+main_path, runner_path = sys.argv[1], sys.argv[2]
+with open(main_path) as f:
+    main = json.load(f)
+with open(runner_path) as f:
+    runner = json.load(f)
+main["benchmarks"].extend(runner.get("benchmarks", []))
+with open(main_path, "w") as f:
+    json.dump(main, f, indent=2)
+    f.write("\n")
+PY
+else
+  echo "note: $RUNNER_BIN not found — scoreboard recorded without shard-scaling entries" >&2
+fi
 echo "wrote $OUT"

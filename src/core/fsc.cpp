@@ -31,14 +31,15 @@ const std::vector<std::size_t>& CreatedFileSystem::pool(const FileCategory& cate
 
 FileSystemCreator::FileSystemCreator(fs::SimulatedFileSystem& fsys,
                                      std::vector<FileCategoryProfile> profiles, FscConfig config)
-    : fsys_(fsys), profiles_(std::move(profiles)), config_(config), rng_(config.seed, "fsc") {
+    : fsys_(fsys), profiles_(std::move(profiles)), config_(config) {
   if (profiles_.empty()) throw std::invalid_argument("FileSystemCreator: no category profiles");
   if (config_.num_users == 0) throw std::invalid_argument("FileSystemCreator: need >= 1 user");
 }
 
-std::uint64_t FileSystemCreator::sample_size(const FileCategoryProfile& profile) {
+std::uint64_t FileSystemCreator::sample_size(const FileCategoryProfile& profile,
+                                             util::RngStream& rng) {
   if (!profile.size_dist) throw std::invalid_argument("FileSystemCreator: profile missing size dist");
-  const double v = profile.size_dist->sample(rng_);
+  const double v = profile.size_dist->sample(rng);
   return static_cast<std::uint64_t>(std::max(1.0, std::llround(v) * 1.0));
 }
 
@@ -65,9 +66,10 @@ void require_ok(fs::FsStatus status, const std::string& what) {
 
 void FileSystemCreator::create_regular(CreatedFileSystem& out,
                                        const FileCategoryProfile& profile, const std::string& dir,
-                                       std::size_t owner_user, std::size_t ordinal) {
+                                       std::size_t owner_user, std::size_t ordinal,
+                                       util::RngStream& rng) {
   const std::string path = dir + "/" + category_file_name(profile.category, ordinal);
-  const std::uint64_t size = sample_size(profile);
+  const std::uint64_t size = sample_size(profile, rng);
   const auto fd = fsys_.creat(path);
   if (!fd.ok()) {
     throw std::runtime_error("FileSystemCreator: creat(" + path + ") failed: " +
@@ -91,7 +93,13 @@ void FileSystemCreator::create_regular(CreatedFileSystem& out,
 
 CreatedFileSystem FileSystemCreator::create() {
   CreatedFileSystem out;
-  out.set_user_count(config_.num_users);
+  out.set_user_count(config_.first_user + config_.num_users);
+
+  // The shared system tree and every user tree draw from their own streams
+  // ("fsc/system", "fsc/user/<k>"), so building users [first_user,
+  // first_user + num_users) yields bit-identical trees to a full build —
+  // the FSC side of the runner's deterministic user partitioning.
+  util::RngStream system_rng(config_.seed, "fsc/system");
 
   require_ok(fsys_.mkdir_recursive(CreatedFileSystem::system_dir()), "mkdir /system");
   require_ok(fsys_.mkdir_recursive("/users"), "mkdir /users");
@@ -135,10 +143,11 @@ CreatedFileSystem FileSystemCreator::create() {
     for (const auto* p : profiles) weights.push_back(std::max(p->fraction_of_files, 1e-9));
     std::vector<std::size_t> ordinal(profiles.size(), 0);
     for (std::size_t i = 0; i < count; ++i) {
-      const std::size_t pick = rng_.categorical(weights);
+      const std::size_t pick = system_rng.categorical(weights);
       const auto& dir = dirs[static_cast<std::size_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(dirs.size()) - 1))];
-      create_regular(out, *profiles[pick], dir, CreatedFile::kSystemOwner, ordinal[pick]++);
+          system_rng.uniform_int(0, static_cast<std::int64_t>(dirs.size()) - 1))];
+      create_regular(out, *profiles[pick], dir, CreatedFile::kSystemOwner, ordinal[pick]++,
+                     system_rng);
     }
   };
   // Split the system file budget by the relative NOTES/OTHER fractions.
@@ -151,8 +160,11 @@ CreatedFileSystem FileSystemCreator::create() {
   create_system(notes_profiles, notes_paths, notes_count);
   create_system(other_profiles, other_paths, config_.system_files - notes_count);
 
-  // Per-user home + subdirectories and files.
-  for (std::size_t user = 0; user < config_.num_users; ++user) {
+  // Per-user home + subdirectories and files, each user from a private
+  // stream keyed by the *global* user index.
+  const std::size_t user_end = config_.first_user + config_.num_users;
+  for (std::size_t user = config_.first_user; user < user_end; ++user) {
+    util::RngStream user_rng(config_.seed, "fsc/user/" + std::to_string(user));
     const std::string home = CreatedFileSystem::user_dir(user);
     require_ok(fsys_.mkdir_recursive(home), "mkdir " + home);
     std::vector<std::string> dirs = {home};
@@ -166,10 +178,10 @@ CreatedFileSystem FileSystemCreator::create() {
     for (const auto* p : user_profiles) weights.push_back(std::max(p->fraction_of_files, 1e-9));
     std::vector<std::size_t> ordinal(user_profiles.size(), 0);
     for (std::size_t i = 0; i < config_.files_per_user; ++i) {
-      const std::size_t pick = rng_.categorical(weights);
+      const std::size_t pick = user_rng.categorical(weights);
       const auto& dir = dirs[static_cast<std::size_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(dirs.size()) - 1))];
-      create_regular(out, *user_profiles[pick], dir, user, ordinal[pick]++);
+          user_rng.uniform_int(0, static_cast<std::int64_t>(dirs.size()) - 1))];
+      create_regular(out, *user_profiles[pick], dir, user, ordinal[pick]++, user_rng);
     }
   }
 
@@ -191,7 +203,7 @@ CreatedFileSystem FileSystemCreator::create() {
   add_dir("/users", FileOwner::other, CreatedFile::kSystemOwner);
   for (const auto& dir : notes_paths) add_dir(dir, FileOwner::other, CreatedFile::kSystemOwner);
   for (const auto& dir : other_paths) add_dir(dir, FileOwner::other, CreatedFile::kSystemOwner);
-  for (std::size_t user = 0; user < config_.num_users; ++user) {
+  for (std::size_t user = config_.first_user; user < user_end; ++user) {
     add_dir(CreatedFileSystem::user_dir(user), FileOwner::user, user);
     for (std::size_t i = 0; i < config_.user_subdirs; ++i) {
       add_dir(CreatedFileSystem::user_dir(user) + "/d" + std::to_string(i), FileOwner::user,

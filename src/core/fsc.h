@@ -62,6 +62,12 @@ class CreatedFileSystem {
 /// Configuration of the initial file system build.
 struct FscConfig {
   std::size_t num_users = 1;
+  /// Global index of the first user to lay out: the build covers users
+  /// [first_user, first_user + num_users).  File sizes draw from per-user
+  /// RNG streams derived from the seed, so a range build produces exactly
+  /// the trees a full build would give those users — the property the
+  /// sharded runner's deterministic partitioning rests on (see DESIGN.md).
+  std::size_t first_user = 0;
   /// Total regular files created per user (split across the USER-owned
   /// categories by their Table 5.1 fractions and scattered over the user's
   /// subdirectories).
@@ -94,14 +100,14 @@ class FileSystemCreator {
   const FscConfig& config() const { return config_; }
 
  private:
-  std::uint64_t sample_size(const FileCategoryProfile& profile);
+  std::uint64_t sample_size(const FileCategoryProfile& profile, util::RngStream& rng);
   void create_regular(CreatedFileSystem& out, const FileCategoryProfile& profile,
-                      const std::string& dir, std::size_t owner_user, std::size_t ordinal);
+                      const std::string& dir, std::size_t owner_user, std::size_t ordinal,
+                      util::RngStream& rng);
 
   fs::SimulatedFileSystem& fsys_;
   std::vector<FileCategoryProfile> profiles_;
   FscConfig config_;
-  util::RngStream rng_;
 };
 
 }  // namespace wlgen::core

@@ -46,7 +46,7 @@ struct UserSimulator::SessionSlot {
 };
 
 struct UserSimulator::UserState {
-  std::size_t index = 0;
+  std::size_t index = 0;  ///< global user index (first_user + local offset)
   const UserType* type = nullptr;
   util::RngStream rng;
   std::vector<SessionSlot> slots;
@@ -77,9 +77,15 @@ UserSimulator::UserSimulator(sim::Simulation& sim, fs::SimulatedFileSystem& fsys
   if (config_.client_machines == 0) {
     throw std::invalid_argument("UserSimulator: need >= 1 client machine");
   }
-  if (manifest_.user_count() < config_.num_users) {
+  if (manifest_.user_count() < config_.first_user + config_.num_users) {
     throw std::invalid_argument(
-        "UserSimulator: the created file system has fewer user directories than num_users");
+        "UserSimulator: the created file system has fewer user directories than the "
+        "configured user range");
+  }
+  if (config_.population_users == 0) config_.population_users = config_.num_users;
+  if (config_.population_users < config_.first_user + config_.num_users) {
+    throw std::invalid_argument(
+        "UserSimulator: population_users must cover the configured user range");
   }
   if (!config_.inter_session_gap_us) {
     config_.inter_session_gap_us = make_dist<dist::ConstantDistribution>(1000.0);
@@ -94,8 +100,9 @@ UserSimulator::UserSimulator(sim::Simulation& sim, fs::SimulatedFileSystem& fsys
   }
 
   for (std::size_t u = 0; u < config_.num_users; ++u) {
-    auto user = std::make_unique<UserState>(config_.seed, u);
-    user->type = &population_.type_for_user(u, config_.num_users);
+    const std::size_t global = config_.first_user + u;
+    auto user = std::make_unique<UserState>(config_.seed, global);
+    user->type = &population_.type_for_user(global, config_.population_users);
     user->slots.resize(config_.windows_per_user);
     for (std::size_t s = 0; s < config_.windows_per_user; ++s) user->slots[s].slot_index = s;
     users_.push_back(std::move(user));
@@ -241,7 +248,7 @@ void UserSimulator::issue(UserState& user, SessionSlot& slot, WorkItem& item,
       sim_, model_.plan(model_op),
       [this, &user, &slot, op, requested, actual, issued_at, session,
        inode = item.inode, fsize = item.file_size, category = item.category](double elapsed) {
-        if (config_.collect_log) {
+        if (config_.collect_log || config_.on_record) {
           OpRecord record;
           record.issue_time_us = issued_at;
           record.response_us = elapsed;
@@ -253,7 +260,8 @@ void UserSimulator::issue(UserState& user, SessionSlot& slot, WorkItem& item,
           record.file_id = inode;
           record.file_size = fsize;
           record.category = category;
-          log_.append(record);
+          if (config_.on_record) config_.on_record(record);
+          if (config_.collect_log) log_.append(record);
         }
         // Completion continues the session: pick the next operation after a
         // think time (already folded into schedule_next_op's delay).

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/ext.h"
@@ -18,6 +20,19 @@ namespace wlgen::core {
 struct UsimConfig {
   /// Simultaneous users on the machine — the x-axis of Figures 5.6–5.11.
   std::size_t num_users = 1;
+
+  /// Global index of the first simulated user: this run drives users
+  /// [first_user, first_user + num_users).  RNG streams, population type
+  /// assignment and file-system directories are all keyed by the *global*
+  /// index, so a range run reproduces exactly the per-user behaviour of a
+  /// full run — the USIM side of the sharded runner's deterministic user
+  /// partitioning (see DESIGN.md "Sharded runner").
+  std::size_t first_user = 0;
+
+  /// Total population size used for user-type apportionment (0 = num_users).
+  /// Range runs set this to the full population so user k gets the same
+  /// UserType regardless of how users are partitioned into shards.
+  std::size_t population_users = 0;
 
   /// Login sessions each user performs (the paper uses 50 for the response
   /// experiments and 600 total for the characterisation run).
@@ -68,6 +83,11 @@ struct UsimConfig {
 
   /// When false, per-op records are not retained (big sweeps).
   bool collect_log = true;
+
+  /// Observer invoked with every op record as it completes, independent of
+  /// collect_log — the hook mergeable-statistics accumulators use so big
+  /// sweeps can run log-free without losing their aggregates.
+  std::function<void(const OpRecord&)> on_record;
 };
 
 /// The paper's User Simulator (USIM): "simulates workload on a terminal or
@@ -86,6 +106,12 @@ struct UsimConfig {
 /// Calls execute logically against the SimulatedFileSystem (so EOF, unlink
 /// and fd semantics are real) and temporally against the FileSystemModel
 /// (so response times include queueing against the other users).
+///
+/// One UserSimulator drives one Simulation on one thread.  For populations
+/// beyond what a single core can sweep, runner::ShardedRunner partitions the
+/// user index space across worker threads via the first_user/num_users range
+/// mode and merges the results deterministically — architecture and merge
+/// contract are documented in DESIGN.md, "Sharded runner".
 class UserSimulator {
  public:
   UserSimulator(sim::Simulation& sim, fs::SimulatedFileSystem& fsys,
@@ -101,6 +127,10 @@ class UserSimulator {
 
   /// The usage log (empty when collect_log is false).
   const UsageLog& log() const { return log_; }
+
+  /// Moves the log out (the sharded runner's zero-copy handoff); log() is
+  /// empty afterwards.
+  UsageLog take_log() { return std::move(log_); }
 
   std::uint64_t total_ops() const { return total_ops_; }
   std::uint64_t sessions_completed() const { return sessions_completed_; }

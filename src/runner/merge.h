@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "core/usage_log.h"
+
+namespace wlgen::runner {
+
+/// Merges per-user usage logs (indexed by global user, each in issue-time
+/// order) into one log ordered by the runner's merge contract:
+///
+///   (issue_time_us ascending, user index ascending, per-user issue order)
+///
+/// Timestamp ties across users break by user index — the deterministic
+/// analogue of the event core's FIFO tie-break — and ties within a user keep
+/// the user's own issue order.  The result is a pure function of the
+/// per-user inputs, so it is bit-identical however those inputs were
+/// produced (1 shard or N, 1 thread or T).
+core::UsageLog merge_user_logs(std::vector<core::UsageLog> per_user);
+
+/// True when `log` is non-descending on the (issue_time_us, user) key —
+/// the observable half of the merge contract; exposed for tests and the
+/// CLI's --verify-merge mode.  Per-user sub-order on full ties is NOT
+/// checkable from a log alone (records carry no per-user issue ordinal);
+/// the runner tests pin it by comparing whole logs across shard counts.
+bool is_merge_ordered(const core::UsageLog& log);
+
+}  // namespace wlgen::runner

@@ -1,0 +1,194 @@
+#include "runner/sharded_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/presets.h"
+#include "fs/filesystem.h"
+#include "fsmodel/local_model.h"
+#include "fsmodel/nfs_model.h"
+#include "fsmodel/wholefile_model.h"
+
+namespace wlgen::runner {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+ModelFactory nfs_model_factory() {
+  return [](sim::Simulation& sim) { return std::make_unique<fsmodel::NfsModel>(sim); };
+}
+
+ModelFactory local_model_factory() {
+  return [](sim::Simulation& sim) { return std::make_unique<fsmodel::LocalDiskModel>(sim); };
+}
+
+ModelFactory wholefile_model_factory() {
+  return
+      [](sim::Simulation& sim) { return std::make_unique<fsmodel::WholeFileCacheModel>(sim); };
+}
+
+ModelFactory model_factory_by_name(const std::string& name) {
+  if (name == "nfs") return nfs_model_factory();
+  if (name == "local") return local_model_factory();
+  if (name == "wholefile") return wholefile_model_factory();
+  throw std::invalid_argument("model_factory_by_name: unknown model '" + name +
+                              "' (nfs|local|wholefile)");
+}
+
+/// Everything one user's universe produces; slots are per-user, so workers
+/// never write to shared state.
+struct ShardedRunner::UserOutcome {
+  explicit UserOutcome(HistogramSpec spec) : stats(spec) {}
+
+  core::UsageLog log;
+  RunnerStats stats;
+  double simulated_us = 0.0;
+  std::uint64_t ops = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t events = 0;
+};
+
+ShardedRunner::ShardedRunner(RunnerConfig config) : config_(std::move(config)) {
+  if (config_.num_users == 0) throw std::invalid_argument("ShardedRunner: need >= 1 user");
+  if (config_.shards == 0) throw std::invalid_argument("ShardedRunner: need >= 1 shard");
+  if (config_.profiles.empty()) config_.profiles = core::di86_file_profiles();
+  if (config_.population.groups.empty()) config_.population = core::default_population();
+  if (!config_.model_factory) config_.model_factory = nfs_model_factory();
+}
+
+void ShardedRunner::run_user(sim::Simulation& sim, std::size_t user, UserOutcome& out) const {
+  sim.reset();
+
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&sim] { return sim.now(); });
+  auto model = config_.model_factory(sim);
+
+  core::FscConfig fsc_config = config_.fsc;
+  fsc_config.num_users = 1;
+  fsc_config.first_user = user;
+  fsc_config.seed = config_.seed;
+  core::FileSystemCreator fsc(fsys, config_.profiles, fsc_config);
+  const core::CreatedFileSystem manifest = fsc.create();
+
+  core::UsimConfig usim_config = config_.usim;
+  usim_config.num_users = 1;
+  usim_config.first_user = user;
+  usim_config.population_users = config_.num_users;
+  usim_config.seed = config_.seed;
+  usim_config.collect_log = config_.collect_log;
+  usim_config.on_record = [&out](const core::OpRecord& r) { out.stats.add(r); };
+
+  core::UserSimulator usim(sim, fsys, *model, manifest, config_.population, usim_config);
+  usim.run();
+
+  out.log = usim.take_log();
+  out.simulated_us = sim.now();
+  out.ops = usim.total_ops();
+  out.sessions = usim.sessions_completed();
+  out.events = sim.events_processed();
+}
+
+RunnerResult ShardedRunner::run() {
+  if (ran_) throw std::logic_error("ShardedRunner::run: may only run once");
+  ran_ = true;
+  const auto run_start = std::chrono::steady_clock::now();
+
+  const std::size_t num_users = config_.num_users;
+  const std::vector<UserRange> ranges = partition_users(num_users, config_.shards);
+
+  std::vector<UserOutcome> outcomes(num_users, UserOutcome(config_.histogram));
+  std::vector<ShardReport> reports(ranges.size());
+  for (std::size_t s = 0; s < ranges.size(); ++s) {
+    reports[s].shard = s;
+    reports[s].range = ranges[s];
+  }
+
+  std::size_t threads = config_.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  threads = std::min(threads, ranges.size());
+  if (threads == 0) threads = 1;
+
+  // Workers drain the shard queue; each owns one Simulation whose clock and
+  // event arena are reset between users, so the arena's allocation ramp-up
+  // is paid once per worker, not once per user.
+  std::atomic<std::size_t> next_shard{0};
+  std::atomic<bool> aborted{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    sim::Simulation sim;
+    while (true) {
+      // A failure in any worker cancels the remaining shards — a 1M-user
+      // run must not keep simulating for minutes after the error is known.
+      if (aborted.load(std::memory_order_relaxed)) return;
+      const std::size_t s = next_shard.fetch_add(1);
+      if (s >= ranges.size()) return;
+      const auto shard_start = std::chrono::steady_clock::now();
+      std::uint64_t events = 0;
+      std::uint64_t ops = 0;
+      try {
+        for (std::size_t u = ranges[s].begin; u < ranges[s].end; ++u) {
+          if (aborted.load(std::memory_order_relaxed)) return;
+          run_user(sim, u, outcomes[u]);
+          events += outcomes[u].events;
+          ops += outcomes[u].ops;
+        }
+      } catch (...) {
+        aborted.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+      reports[s].wall_ms = elapsed_ms(shard_start);
+      reports[s].events = events;
+      reports[s].ops = ops;
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Deterministic fold: ascending global user order, independent of which
+  // shard or thread produced each slot.
+  RunnerResult result;
+  result.stats = RunnerStats(config_.histogram);
+  std::vector<core::UsageLog> user_logs;
+  user_logs.reserve(num_users);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    UserOutcome& out = outcomes[u];
+    result.stats.merge(out.stats);
+    result.total_ops += out.ops;
+    result.sessions_completed += out.sessions;
+    if (out.simulated_us > result.max_simulated_us) result.max_simulated_us = out.simulated_us;
+    user_logs.push_back(std::move(out.log));
+  }
+  if (config_.collect_log) result.log = merge_user_logs(std::move(user_logs));
+  result.shards = std::move(reports);
+  result.wall_ms = elapsed_ms(run_start);
+  return result;
+}
+
+}  // namespace wlgen::runner

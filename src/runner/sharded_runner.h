@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fsc.h"
+#include "core/usim.h"
+#include "core/workload.h"
+#include "fsmodel/model.h"
+#include "runner/merge.h"
+#include "runner/partition.h"
+#include "runner/stats.h"
+#include "sim/simulation.h"
+
+namespace wlgen::runner {
+
+/// Builds a fresh performance-model instance bound to a shard's Simulation.
+/// Every simulated user gets its own model (its own workstation, caches and
+/// server queues), so the factory is invoked once per user.
+using ModelFactory =
+    std::function<std::unique_ptr<fsmodel::FileSystemModel>(sim::Simulation&)>;
+
+/// Factories for the three paper models with default parameters.
+ModelFactory nfs_model_factory();
+ModelFactory local_model_factory();
+ModelFactory wholefile_model_factory();
+
+/// "nfs" | "local" | "wholefile"; throws std::invalid_argument otherwise.
+ModelFactory model_factory_by_name(const std::string& name);
+
+/// Configuration of a sharded run.
+struct RunnerConfig {
+  /// Total simulated users (the global index space [0, num_users)).
+  std::size_t num_users = 1;
+
+  /// K: number of independent Simulation shards the user space is cut into
+  /// by partition_users().  Results are bit-identical for every K >= 1.
+  std::size_t shards = 1;
+
+  /// Worker threads executing the shards (0 = min(shards, hardware
+  /// concurrency)).  Purely an execution knob; never affects results.
+  std::size_t threads = 0;
+
+  /// Root seed for both the FSC layout and the user behaviour streams.
+  std::uint64_t seed = 1991;
+
+  /// Per-user behaviour (sessions_per_user, think/markov/pattern switches).
+  /// num_users, first_user, population_users, seed and the record hook are
+  /// overwritten per user range.
+  core::UsimConfig usim;
+
+  /// Per-universe file-system layout; num_users/first_user/seed overwritten.
+  core::FscConfig fsc;
+
+  /// Initial-file-system category profiles (empty = core::di86_file_profiles()).
+  std::vector<core::FileCategoryProfile> profiles;
+
+  /// User-type mixture (empty groups = core::default_population()).
+  core::Population population;
+
+  /// Geometry of the merged response-time histogram.  Every user holds one
+  /// private histogram during the run (the per-user slots are what make the
+  /// merge fold K-invariant), so the transient footprint is ~8 bytes x bins
+  /// per user — shrink bins for multi-million-user sweeps.
+  HistogramSpec histogram;
+
+  /// Retain and merge the per-op usage log.  Off for big sweeps: the
+  /// RunnerStats aggregates are still produced via the record hook.
+  bool collect_log = true;
+
+  /// Model per user (null = nfs_model_factory()).
+  ModelFactory model_factory;
+};
+
+/// Per-shard execution accounting (reporting only — results never depend
+/// on it).
+struct ShardReport {
+  std::size_t shard = 0;
+  UserRange range;
+  double wall_ms = 0.0;        ///< wall-clock time this shard's users took
+  std::uint64_t events = 0;    ///< DES events dispatched across its users
+  std::uint64_t ops = 0;       ///< system calls issued across its users
+};
+
+/// Merged outcome of a sharded run.
+struct RunnerResult {
+  /// Usage log merged by (issue time, user index) — empty when collect_log
+  /// is off.  Bit-identical for every (shards, threads) choice.
+  core::UsageLog log;
+
+  /// Mergeable aggregates, folded in ascending global-user order.
+  RunnerStats stats;
+
+  std::uint64_t total_ops = 0;
+  std::uint64_t sessions_completed = 0;
+
+  /// Longest single-user simulated timeline, microseconds.
+  double max_simulated_us = 0.0;
+
+  std::vector<ShardReport> shards;
+  double wall_ms = 0.0;  ///< whole run, including partitioning and merging
+};
+
+/// Shard-parallel simulation runner — the scale-out path to the ROADMAP's
+/// "millions of simulated users" (architecture in DESIGN.md, "Sharded
+/// runner").
+///
+/// Semantics: every user is an *independent universe* — a private
+/// SimulatedFileSystem built by the FSC range path for exactly that user, a
+/// private FileSystemModel, and a timeline starting at simulated time 0.
+/// This is the regime the per-user RNG streams already guarantee for user
+/// behaviour; the runner extends it to the whole environment, which is what
+/// makes the merged result a pure per-user function: independent of shard
+/// count, thread count, and scheduling.  Shared-machine contention studies
+/// (the Figures 5.6–5.11 response-vs-users curves) deliberately stay on the
+/// single-Simulation core::UserSimulator path.
+///
+/// Execution: partition_users() cuts [0, num_users) into K contiguous
+/// ranges; a pool of worker threads drains the shards, each worker reusing
+/// one warm Simulation (clock/arena reset per user).  Merging follows the
+/// merge_user_logs() / RunnerStats contract: fixed ascending-user fold, so
+/// every aggregate — including floating-point reductions — is bit-identical
+/// regardless of K.
+class ShardedRunner {
+ public:
+  explicit ShardedRunner(RunnerConfig config);
+
+  /// Executes the run.  May be called once.
+  RunnerResult run();
+
+  const RunnerConfig& config() const { return config_; }
+
+ private:
+  struct UserOutcome;
+
+  /// Simulates one user's universe on the worker's Simulation.
+  void run_user(sim::Simulation& sim, std::size_t user, UserOutcome& out) const;
+
+  RunnerConfig config_;
+  bool ran_ = false;
+};
+
+}  // namespace wlgen::runner

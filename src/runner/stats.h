@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/usage_log.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+
+namespace wlgen::runner {
+
+/// Geometry of the runner's response-time histogram.  Fixed up front (not
+/// derived from the data) so per-shard histograms share bins and merge
+/// exactly.
+struct HistogramSpec {
+  double lo_us = 0.0;
+  double hi_us = 2.0e5;  ///< clamp tail into the top bin (Histogram semantics)
+  std::size_t bins = 100;
+};
+
+/// Mergeable per-run aggregates — the statistics a sharded run can report
+/// without retaining any usage log.  Each shard accumulates one RunnerStats
+/// per user (via UsimConfig::on_record); the runner then folds them in
+/// ascending global-user order, so the merged result is a fixed
+/// floating-point reduction sequence: bit-identical regardless of how many
+/// shards or threads executed the run (the merge-ordering contract, see
+/// DESIGN.md "Sharded runner").
+class RunnerStats {
+ public:
+  explicit RunnerStats(HistogramSpec spec = {});
+
+  /// Accumulates one completed system call.
+  void add(const core::OpRecord& record);
+
+  /// Folds `other` into this (histogram geometries must match).
+  void merge(const RunnerStats& other);
+
+  /// Response time over every logged call (UsageAnalyzer::response_stats).
+  const stats::RunningSummary& response_us() const { return response_us_; }
+
+  /// Actual bytes per read/write call (UsageAnalyzer::access_size_stats).
+  const stats::RunningSummary& access_size() const { return access_size_; }
+
+  /// Response-time distribution over all calls, fixed spec bins.
+  const stats::Histogram& response_histogram() const { return response_hist_; }
+
+  std::uint64_t ops() const { return ops_; }
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+
+  /// Total response over all calls / bytes moved by data calls — the
+  /// Figures 5.6–5.12 y-axis (UsageAnalyzer::response_per_byte_us).
+  double response_per_byte_us() const;
+
+ private:
+  stats::RunningSummary response_us_;
+  stats::RunningSummary access_size_;
+  stats::Histogram response_hist_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+  double total_response_us_ = 0.0;
+};
+
+}  // namespace wlgen::runner

@@ -32,6 +32,17 @@ void Simulation::schedule_at(SimTime when, EventFn action) {
   sift_up(heap_.size() - 1);
 }
 
+void Simulation::reset() {
+  heap_.clear();
+  // clear() destroys the pooled callbacks but keeps the vector capacity, so
+  // the next run repopulates slots in place without reallocating.
+  slots_.clear();
+  free_slots_.clear();
+  now_ = 0.0;
+  next_seq_ = 0;
+  processed_ = 0;
+}
+
 void Simulation::sift_up(std::size_t i) {
   const HeapEntry item = heap_[i];
   while (i > 0) {

@@ -55,6 +55,13 @@ class Simulation {
   /// queue is already empty, so idle periods still advance the clock.
   void run_until(SimTime t);
 
+  /// Rewinds the clock to 0 and discards any pending events, keeping the
+  /// arena and heap storage warm.  This is the shard-runner reuse path (see
+  /// DESIGN.md "Sharded runner"): one worker simulates many independent
+  /// user timelines back to back on the same Simulation without paying the
+  /// arena's allocation ramp-up again.
+  void reset();
+
   /// Number of events executed so far.
   std::uint64_t events_processed() const { return processed_; }
 

@@ -35,6 +35,14 @@ void Histogram::add_all(const std::vector<double>& data) {
   for (double v : data) add(v);
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: mismatched geometry");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 double Histogram::bin_width() const { return (hi_ - lo_) / static_cast<double>(counts_.size()); }
 
 void Histogram::set_counts(std::vector<double> counts) {

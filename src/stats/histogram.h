@@ -23,6 +23,13 @@ class Histogram {
   /// Adds all observations.
   void add_all(const std::vector<double>& data);
 
+  /// Merges another histogram with identical geometry (lo, hi, bin count)
+  /// into this one by summing per-bin counts; throws std::invalid_argument
+  /// on mismatch.  Bin counts are non-negative integers stored as doubles,
+  /// so merging is exact and order-independent up to ~2^53 observations —
+  /// the parallel-shard aggregation path relies on this.
+  void merge(const Histogram& other);
+
   std::size_t bin_count() const { return counts_.size(); }
   double low() const { return lo_; }
   double high() const { return hi_; }

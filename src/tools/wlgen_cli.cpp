@@ -6,8 +6,13 @@
 //   wlgen run [--users N] [--sessions M] [--model nfs|local|wholefile]
 //             [--heavy F] [--seed S] [--markov P] [--pattern seq|random|zipf]
 //             [--windows W] [--spec FILE] [--log OUT.tsv]
+//             [--shards K] [--threads T] [--verify-merge]
 //   wlgen analyze <log.tsv>
 //   wlgen replay <log.tsv> [--model ...] [--closed-loop] [--scale X]
+//
+// --shards routes the run through runner::ShardedRunner (independent user
+// universes, merged deterministically — see DESIGN.md "Sharded runner");
+// without it the classic shared-machine single-Simulation path runs.
 //
 // Exit status: 0 on success, 1 on bad usage or I/O failure.
 
@@ -24,9 +29,7 @@
 #include "core/replay.h"
 #include "core/spec.h"
 #include "core/usim.h"
-#include "fsmodel/local_model.h"
-#include "fsmodel/nfs_model.h"
-#include "fsmodel/wholefile_model.h"
+#include "runner/sharded_runner.h"
 #include "util/ascii_plot.h"
 #include "util/strings.h"
 #include "util/svg.h"
@@ -80,6 +83,7 @@ int usage() {
       "  wlgen run [--users N] [--sessions M] [--model nfs|local|wholefile]\n"
       "            [--heavy F] [--seed S] [--markov P] [--pattern seq|random|zipf]\n"
       "            [--windows W] [--spec FILE] [--log OUT.tsv]\n"
+      "            [--shards K] [--threads T] [--verify-merge]\n"
       "  wlgen analyze <log.tsv>\n"
       "  wlgen replay <log.tsv> [--model M] [--closed-loop] [--scale X]\n";
   return 1;
@@ -87,10 +91,8 @@ int usage() {
 
 std::unique_ptr<fsmodel::FileSystemModel> make_model(const std::string& name,
                                                      sim::Simulation& simulation) {
-  if (name == "nfs") return std::make_unique<fsmodel::NfsModel>(simulation);
-  if (name == "local") return std::make_unique<fsmodel::LocalDiskModel>(simulation);
-  if (name == "wholefile") return std::make_unique<fsmodel::WholeFileCacheModel>(simulation);
-  throw std::invalid_argument("unknown model '" + name + "' (nfs|local|wholefile)");
+  // One nfs|local|wholefile dispatch table for both CLI paths.
+  return runner::model_factory_by_name(name)(simulation);
 }
 
 int cmd_gds(const Args& args) {
@@ -139,22 +141,59 @@ void print_analysis(const core::UsageLog& log) {
   std::cout << summary.render();
 }
 
+/// Sharded path: K independent Simulation shards on a worker pool, merged
+/// deterministically (bit-identical for any --shards/--threads choice).
+int cmd_run_sharded(const Args& args, std::size_t users, std::size_t sessions,
+                    std::uint64_t seed, core::Population population,
+                    core::UsimConfig usim_config) {
+  runner::RunnerConfig config;
+  config.num_users = users;
+  config.shards = static_cast<std::size_t>(args.number("shards", 1));
+  config.threads = static_cast<std::size_t>(args.number("threads", 0));
+  config.seed = seed;
+  config.usim = std::move(usim_config);
+  config.usim.sessions_per_user = sessions;
+  config.population = std::move(population);
+  config.model_factory = runner::model_factory_by_name(args.get("model", "nfs"));
+
+  runner::ShardedRunner run(std::move(config));
+  const runner::RunnerResult result = run.run();
+
+  std::cout << "model: " << args.get("model", "nfs") << "  users: " << users << "  shards: "
+            << result.shards.size() << "  sessions: " << result.sessions_completed
+            << "  longest user timeline: " << result.max_simulated_us / 1e6 << " s  wall: "
+            << result.wall_ms << " ms\n\n";
+
+  util::TextTable shards({"shard", "users", "syscalls", "events", "wall ms"});
+  for (const auto& s : result.shards) {
+    shards.add_row({std::to_string(s.shard),
+                    std::to_string(s.range.begin) + ".." + std::to_string(s.range.end),
+                    std::to_string(s.ops), std::to_string(s.events),
+                    util::TextTable::num(s.wall_ms, 1)});
+  }
+  std::cout << shards.render() << "\n";
+  print_analysis(result.log);
+
+  if (args.boolean("verify-merge")) {
+    if (!runner::is_merge_ordered(result.log)) {
+      std::cerr << "merge contract violated: log is not (time, user) ordered\n";
+      return 1;
+    }
+    std::cout << "\nmerge contract verified: " << result.log.size()
+              << " records in (time, user) order\n";
+  }
+  if (args.flags.count("log")) {
+    util::write_text_file(args.get("log", ""), result.log.serialize());
+    std::cout << "\nusage log written to " << args.get("log", "") << "\n";
+  }
+  return 0;
+}
+
 int cmd_run(const Args& args) {
   const auto users = static_cast<std::size_t>(args.number("users", 1));
   const auto sessions = static_cast<std::size_t>(args.number("sessions", 50));
   const auto seed = static_cast<std::uint64_t>(args.number("seed", 1991));
   const double heavy = args.number("heavy", 1.0);
-
-  sim::Simulation simulation;
-  fs::SimulatedFileSystem fsys;
-  fsys.set_clock([&simulation] { return simulation.now(); });
-  auto model = make_model(args.get("model", "nfs"), simulation);
-
-  core::FscConfig fsc_config;
-  fsc_config.num_users = users;
-  fsc_config.seed = seed;
-  core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
-  const core::CreatedFileSystem manifest = fsc.create();
 
   core::Population population = core::mixed_population(heavy);
   if (args.flags.count("spec")) {
@@ -181,6 +220,28 @@ int cmd_run(const Args& args) {
   } else if (pattern != "seq") {
     throw std::invalid_argument("unknown pattern '" + pattern + "' (seq|random|zipf)");
   }
+
+  if (args.flags.count("shards")) {
+    return cmd_run_sharded(args, users, sessions, seed, std::move(population),
+                           std::move(config));
+  }
+  if (args.flags.count("threads") || args.boolean("verify-merge")) {
+    // Guard against silently switching semantics: the classic path is one
+    // shared-machine Simulation; parallel execution exists only under the
+    // sharded runner's independent-universe model.
+    throw std::invalid_argument("--threads/--verify-merge require --shards (see DESIGN.md)");
+  }
+
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&simulation] { return simulation.now(); });
+  auto model = make_model(args.get("model", "nfs"), simulation);
+
+  core::FscConfig fsc_config;
+  fsc_config.num_users = users;
+  fsc_config.seed = seed;
+  core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
+  const core::CreatedFileSystem manifest = fsc.create();
 
   core::UserSimulator usim(simulation, fsys, *model, manifest, population, config);
   usim.run();

@@ -42,13 +42,22 @@ RngStream::RngStream(std::uint64_t root_seed, std::uint64_t stream_id)
 RngStream::RngStream(std::uint64_t root_seed, std::string_view label)
     : RngStream(root_seed, hash_label(label)) {}
 
-double RngStream::uniform01() {
-  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+void RngStream::refill_block() {
+  // One tight pass over the engine: 53-bit mantissa scaling, the standard
+  // (x >> 11) * 2^-53 mapping, gives uniforms in [0, 1 - 2^-53].
+  for (double& u : block_) {
+    u = static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+  block_pos_ = 0;
 }
 
 double RngStream::uniform(double lo, double hi) {
   if (hi < lo) throw std::invalid_argument("RngStream::uniform: hi < lo");
-  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  double v = lo + (hi - lo) * uniform01();
+  // Scaling can round up to hi when hi - lo is large; keep the half-open
+  // contract.
+  if (v >= hi && hi > lo) v = std::nextafter(hi, lo);
+  return v;
 }
 
 std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {

@@ -110,6 +110,32 @@ TEST(Simulation, RunUntilOnEmptyQueueStillAdvancesClock) {
   EXPECT_THROW(sim.run_until(10.0), std::invalid_argument);
 }
 
+// reset() rewinds the clock and discards pending work: the sharded runner
+// reuses one Simulation per worker across many independent user timelines.
+TEST(Simulation, ResetRewindsClockAndDropsPendingEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(5.0, [&] { ++fired; });
+  sim.schedule(10.0, [&] { ++fired; });
+  sim.run_until(6.0);
+  EXPECT_EQ(fired, 1);
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_processed(), 0u);
+  sim.run();              // nothing pending: a no-op
+  EXPECT_EQ(fired, 1);    // the discarded 10.0 event never fires
+
+  // A fresh timeline on the recycled arena behaves like a new Simulation,
+  // FIFO tie-break included.
+  std::vector<int> order;
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
 // Regression: the FIFO tie-break must survive heap restructuring — ties
 // scheduled from inside other events (exercising sift-up/sift-down paths)
 // still fire in scheduling order.

@@ -114,6 +114,31 @@ TEST(HistogramTest, FromDataSpansRange) {
   EXPECT_THROW(Histogram::from_data({}, 4), std::invalid_argument);
 }
 
+// Same-geometry merge must equal single-pass accumulation exactly — the
+// sharded runner folds per-user histograms and relies on bin counts being
+// integer-valued doubles (exact addition, any fold order).
+TEST(HistogramTest, MergeEqualsSinglePassAccumulation) {
+  util::RngStream rng(9, "hist-merge");
+  Histogram whole(0.0, 10.0, 16);
+  Histogram part_a(0.0, 10.0, 16);
+  Histogram part_b(0.0, 10.0, 16);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(-1.0, 12.0);  // exercises edge clamping too
+    whole.add(v);
+    (i % 2 == 0 ? part_a : part_b).add(v);
+  }
+  part_a.merge(part_b);
+  EXPECT_EQ(part_a.counts(), whole.counts());
+  EXPECT_EQ(part_a.total(), whole.total());
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedGeometry) {
+  Histogram base(0.0, 10.0, 16);
+  EXPECT_THROW(base.merge(Histogram(0.0, 10.0, 8)), std::invalid_argument);
+  EXPECT_THROW(base.merge(Histogram(0.0, 20.0, 16)), std::invalid_argument);
+  EXPECT_THROW(base.merge(Histogram(1.0, 10.0, 16)), std::invalid_argument);
+}
+
 TEST(Smoothing, MovingAveragePreservesConstantSignal) {
   const std::vector<double> flat(10, 3.0);
   const auto out = moving_average(flat, 3);

@@ -19,7 +19,44 @@ namespace {
 TEST(RngStream, SameSeedSameSequence) {
   RngStream a(7, 1);
   RngStream b(7, 1);
-  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  // Run well past RngStream::kBlock so several batched refills are covered.
+  for (int i = 0; i < 1000; ++i) EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(RngStream, BatchedUniformsStayInUnitIntervalAcrossRefills) {
+  RngStream rng(3, 0);
+  for (std::size_t i = 0; i < 5 * RngStream::kBlock; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngStream, DirectEngineDrawsInterleaveDeterministically) {
+  // Mixed batched (uniform01) and direct (engine-backed) draws must be a
+  // pure function of the call sequence: two identical streams stay in
+  // lockstep through both kinds of draw, including across block refills.
+  RngStream a(11, 4);
+  RngStream b(11, 4);
+  for (std::size_t i = 0; i < 3 * RngStream::kBlock; ++i) {
+    if (i % 7 == 3) {
+      EXPECT_DOUBLE_EQ(a.exponential(10.0), b.exponential(10.0));
+    } else if (i % 7 == 5) {
+      EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+    } else {
+      EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+    }
+  }
+}
+
+TEST(RngStream, ForkDoesNotPerturbParentSequence) {
+  RngStream forked(7, 1);
+  RngStream straight(7, 1);
+  for (int i = 0; i < 10; ++i) forked.uniform01();
+  for (int i = 0; i < 10; ++i) straight.uniform01();
+  auto child = forked.fork("child");
+  child.uniform01();
+  for (int i = 0; i < 300; ++i) EXPECT_DOUBLE_EQ(forked.uniform01(), straight.uniform01());
 }
 
 TEST(RngStream, DifferentStreamsDiffer) {
