@@ -1,59 +1,100 @@
 // Ablation — NFS client cache size vs the Figure 5.6 contention curve.
 //
 // Figure 5.6's linear response growth assumes the server is the bottleneck.
-// This bench sweeps the client block-cache size: a tiny cache pushes every
-// access to the server (steeper, still linear); a huge cache absorbs almost
-// everything (flatter).  It isolates the mechanism DESIGN.md credits for the
-// figure's shape.
+// This experiment sweeps the client block-cache size: a tiny cache pushes
+// every access to the server (steeper, still growing); a huge cache absorbs
+// almost everything (flatter).  It isolates the mechanism DESIGN.md credits
+// for the figure's shape.
 
-#include <iostream>
-
-#include "common/experiment.h"
+#include "core/analysis.h"
+#include "core/fsc.h"
+#include "core/presets.h"
+#include "core/usim.h"
+#include "exp/workload.h"
+#include "experiments.h"
+#include "fs/filesystem.h"
 #include "fsmodel/nfs_model.h"
-#include "util/table.h"
+#include "sim/simulation.h"
 
-int main() {
-  using namespace wlgen;
-  bench::print_header("Ablation — NFS client cache size vs contention curve",
-                      "mechanism check for Figure 5.6's linearity");
+namespace wlgen::bench {
 
-  const std::vector<std::size_t> cache_blocks = {8, 64, 384, 4096};
-  util::TextTable table({"client cache (8 KiB blocks)", "1 user us/B", "3 users us/B",
-                         "6 users us/B", "6u/1u ratio"});
+namespace {
 
-  for (std::size_t blocks : cache_blocks) {
-    std::vector<double> points;
-    for (std::size_t users : {1UL, 3UL, 6UL}) {
-      sim::Simulation simulation;
-      fs::SimulatedFileSystem fsys;
-      fsys.set_clock([&simulation] { return simulation.now(); });
-      fsmodel::NfsParams params;
-      params.client_cache_blocks = blocks;
-      fsmodel::NfsModel nfs(simulation, params);
-      core::FscConfig fsc_config;
-      fsc_config.num_users = users;
-      fsc_config.seed = 31 + users;
-      core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
-      const core::CreatedFileSystem manifest = fsc.create();
-      core::UsimConfig usim_config;
-      usim_config.num_users = users;
-      usim_config.sessions_per_user = 30;
-      usim_config.seed = 31 + users;
-      core::Population population;
-      population.groups.push_back({core::extremely_heavy_user(), 1.0});
-      population.validate_and_normalize();
-      core::UserSimulator usim(simulation, fsys, nfs, manifest, population, usim_config);
-      usim.run();
-      points.push_back(core::UsageAnalyzer(usim.log()).response_per_byte_us());
-    }
-    table.add_row({std::to_string(blocks), util::TextTable::num(points[0], 2),
-                   util::TextTable::num(points[1], 2), util::TextTable::num(points[2], 2),
-                   util::TextTable::num(points[2] / std::max(points[0], 1e-9), 2)});
-  }
-  std::cout << table.render();
-  std::cout << "\nReading: a starved client cache raises the whole curve (every access\n"
-               "crosses the network and queues at the server); a huge cache lowers the\n"
-               "level but contention growth remains, because cold misses and write\n"
-               "flushes still serialise at the shared server disk.\n";
-  return 0;
+double cache_point(std::size_t blocks, std::size_t users, std::size_t sessions,
+                   std::uint64_t seed) {
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&simulation] { return simulation.now(); });
+  fsmodel::NfsParams params;
+  params.client_cache_blocks = blocks;
+  fsmodel::NfsModel nfs(simulation, params);
+  core::FscConfig fsc_config;
+  fsc_config.num_users = users;
+  fsc_config.seed = seed + users;
+  core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
+  const core::CreatedFileSystem manifest = fsc.create();
+  core::UsimConfig usim_config;
+  usim_config.num_users = users;
+  usim_config.sessions_per_user = sessions;
+  usim_config.seed = seed + users;
+  core::Population population;
+  population.groups.push_back({core::extremely_heavy_user(), 1.0});
+  population.validate_and_normalize();
+  core::UserSimulator usim(simulation, fsys, nfs, manifest, population, usim_config);
+  usim.run();
+  return core::UsageAnalyzer(usim.log()).response_per_byte_us();
 }
+
+}  // namespace
+
+exp::Experiment make_ablation_cache() {
+  using exp::Verdict;
+  exp::Experiment experiment;
+  experiment.id = "ablation_cache";
+  experiment.title = "NFS client cache size vs the Figure 5.6 contention curve";
+  experiment.paper_claim = "mechanism check for Figure 5.6's shape: server-bound contention";
+  experiment.expectations = {
+      exp::expect_monotonic_down("6 users", 0.05, Verdict::fail,
+                                 "a larger client cache must lower the contended level"),
+      exp::expect_monotonic_down("1 user", 0.05, Verdict::fail,
+                                 "a larger client cache must lower the uncontended level"),
+      exp::expect_scalar_in_range("growth_with_starved_cache", 1.5, 20.0, Verdict::fail,
+                                  "with a starved cache every access queues at the server"),
+      exp::expect_scalar_in_range("growth_with_big_cache", 1.2, 10.0, Verdict::fail,
+                                  "cold misses and write flushes still serialise at the disk"),
+      exp::expect_scalar_in_range("starved_over_big_at_6u", 1.5, 20.0, Verdict::fail,
+                                  "cache starvation must raise the whole curve"),
+  };
+
+  experiment.run = [](const exp::RunContext& ctx) {
+    const std::vector<std::size_t> cache_blocks = {8, 64, 384, 4096};
+    const std::size_t sessions = ctx.sessions(30);
+    std::vector<double> xs, one_user, six_users;
+    for (const std::size_t blocks : cache_blocks) {
+      xs.push_back(static_cast<double>(blocks));
+      one_user.push_back(cache_point(blocks, 1, sessions, ctx.seed + 31));
+      six_users.push_back(cache_point(blocks, 6, sessions, ctx.seed + 31));
+    }
+
+    exp::ExperimentResult result;
+    result.x_label = "client cache size (8 KiB blocks)";
+    result.y_label = "response time per byte (us)";
+    result.add_series("1 user", xs, one_user);
+    result.add_series("6 users", xs, six_users);
+    result.set_scalar("growth_with_starved_cache",
+                      one_user.front() > 0.0 ? six_users.front() / one_user.front() : 0.0);
+    result.set_scalar("growth_with_big_cache",
+                      one_user.back() > 0.0 ? six_users.back() / one_user.back() : 0.0);
+    result.set_scalar("starved_over_big_at_6u",
+                      six_users.back() > 0.0 ? six_users.front() / six_users.back() : 0.0);
+    result.notes.push_back(
+        "A starved client cache raises the whole curve (every access crosses "
+        "the network and queues at the server); a huge cache lowers the level "
+        "but contention growth remains — cold misses and write flushes still "
+        "serialise at the shared server disk.");
+    return result;
+  };
+  return experiment;
+}
+
+}  // namespace wlgen::bench

@@ -1,16 +1,19 @@
 // Ablation — smoothing sensitivity for Figures 5.3-5.5.
 //
 // The paper shows each session histogram "before and after smoothing" but
-// does not document the smoother.  This bench sweeps moving-average windows
-// and Gaussian bandwidths on the Figure 5.3 histogram and reports how far
-// the smoothed shape drifts from the raw one (L1 distance and mode shift),
-// so a user can pick a smoother and know its cost.
+// does not document the smoother.  This experiment sweeps moving-average
+// windows and Gaussian bandwidths on the Figure 5.3 histogram and grades how
+// far the smoothed shape drifts from the raw one (L1 distance and mode
+// shift), so a user can pick a smoother and know its cost.
 
 #include <cmath>
-#include <iostream>
 
-#include "common/figures.h"
-#include "util/table.h"
+#include "core/analysis.h"
+#include "exp/workload.h"
+#include "experiments.h"
+#include "stats/smoothing.h"
+
+namespace wlgen::bench {
 
 namespace {
 
@@ -34,36 +37,64 @@ std::size_t mode_bin(const std::vector<double>& counts) {
 
 }  // namespace
 
-int main() {
-  using namespace wlgen;
-  bench::print_header("Ablation — smoothing window sensitivity (Figure 5.3 input)",
-                      "paper smooths Figs 5.3-5.5 without specifying the smoother");
+exp::Experiment make_ablation_smoothing() {
+  using exp::Verdict;
+  exp::Experiment experiment;
+  experiment.id = "ablation_smoothing";
+  experiment.title = "smoothing window sensitivity (Figure 5.3 input)";
+  experiment.paper_claim = "paper smooths Figs 5.3-5.5 without specifying the smoother";
+  experiment.expectations = {
+      exp::expect_monotonic_up("L1 drift moving average", 0.0, Verdict::fail,
+                               "wider windows must move more mass, monotonically"),
+      exp::expect_monotonic_up("L1 drift gaussian", 0.0, Verdict::fail,
+                               "larger bandwidths must move more mass, monotonically"),
+      exp::expect_scalar_in_range("drift_ma_3", 0.0, 0.25, Verdict::fail,
+                                  "the default 3-bin window is safe for the paper's "
+                                  "visual use (<25% of mass moved)"),
+      exp::expect_scalar_in_range("mode_shift_ma_3_bins", -2.0, 2.0, Verdict::fail,
+                                  "small windows keep the Figure 5.3 mode in place"),
+  };
 
-  const bench::ExperimentOutput out = bench::characterisation_run(400);
-  const core::UsageAnalyzer analyzer(out.log);
-  const auto histogram = analyzer.session_access_per_byte_histogram(30);
-  const auto raw = histogram.counts();
-  const std::size_t raw_mode = mode_bin(raw);
+  experiment.run = [](const exp::RunContext& ctx) {
+    const exp::WorkloadOutput& out = exp::characterisation_run(ctx.sessions(400), ctx.seed);
+    const core::UsageAnalyzer analyzer(out.log);
+    const stats::Histogram histogram = analyzer.session_access_per_byte_histogram(30);
+    const std::vector<double>& raw = histogram.counts();
+    const std::size_t raw_mode = mode_bin(raw);
 
-  util::TextTable table({"smoother", "parameter", "L1 drift (frac of mass)", "mode shift (bins)"});
-  for (double window : {3.0, 5.0, 9.0}) {
-    const auto s = stats::smooth_histogram(histogram, stats::SmoothingKind::moving_average,
-                                           window);
-    table.add_row({"moving average", util::TextTable::num(window, 0),
-                   util::TextTable::num(l1_distance(raw, s.counts()), 3),
-                   std::to_string(static_cast<long long>(mode_bin(s.counts())) -
-                                  static_cast<long long>(raw_mode))});
-  }
-  for (double sigma : {0.75, 1.5, 3.0}) {
-    const auto s = stats::smooth_histogram(histogram, stats::SmoothingKind::gaussian, sigma);
-    table.add_row({"gaussian", util::TextTable::num(sigma, 2),
-                   util::TextTable::num(l1_distance(raw, s.counts()), 3),
-                   std::to_string(static_cast<long long>(mode_bin(s.counts())) -
-                                  static_cast<long long>(raw_mode))});
-  }
-  std::cout << table.render();
-  std::cout << "\nReading: small windows (3-bin MA, sigma<=1.5) keep the mode in place and\n"
-               "move <20% of the mass — safe for the paper's visual use.  Wide windows\n"
-               "start erasing the skew that distinguishes Figure 5.3's shape.\n";
-  return 0;
+    exp::ExperimentResult result;
+    result.x_label = "smoother parameter (window bins / sigma bins)";
+    result.y_label = "L1 drift (fraction of mass)";
+    std::vector<double> ma_xs, ma_drift;
+    for (const double window : {3.0, 5.0, 9.0}) {
+      const stats::Histogram s =
+          stats::smooth_histogram(histogram, stats::SmoothingKind::moving_average, window);
+      ma_xs.push_back(window);
+      ma_drift.push_back(l1_distance(raw, s.counts()));
+      if (window == 3.0) {
+        result.set_scalar("drift_ma_3", ma_drift.back());
+        result.set_scalar("mode_shift_ma_3_bins",
+                          static_cast<double>(mode_bin(s.counts())) -
+                              static_cast<double>(raw_mode));
+      }
+    }
+    result.add_series("L1 drift moving average", std::move(ma_xs), std::move(ma_drift));
+
+    std::vector<double> g_xs, g_drift;
+    for (const double sigma : {0.75, 1.5, 3.0}) {
+      const stats::Histogram s =
+          stats::smooth_histogram(histogram, stats::SmoothingKind::gaussian, sigma);
+      g_xs.push_back(sigma);
+      g_drift.push_back(l1_distance(raw, s.counts()));
+    }
+    result.add_series("L1 drift gaussian", std::move(g_xs), std::move(g_drift));
+    result.notes.push_back(
+        "Small windows (3-bin MA, sigma <= 1.5) keep the mode in place and "
+        "move a bounded share of the mass — safe for the paper's visual use.  "
+        "Wide windows start erasing the skew that distinguishes Figure 5.3.");
+    return result;
+  };
+  return experiment;
 }
+
+}  // namespace wlgen::bench

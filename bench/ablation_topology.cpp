@@ -4,21 +4,26 @@
 // The paper's testbed packs every simulated user onto a single SUN 3/50.
 // Its introduction, however, claims the model covers "a centralized and
 // distributed system, consisting of possible different types of machines".
-// This bench exercises that claim: the same population on (a) one shared
-// client and (b) one client per user, both against the same server and
-// Ethernet — the late-80s diskless-workstation sizing question.
+// This experiment exercises that claim: the same population on (a) one
+// shared client and (b) one client per user, both against the same server
+// and Ethernet — the late-80s diskless-workstation sizing question.
 
-#include <iostream>
-
-#include "common/experiment.h"
+#include "core/analysis.h"
+#include "core/fsc.h"
+#include "core/presets.h"
+#include "core/usim.h"
+#include "exp/workload.h"
+#include "experiments.h"
+#include "fs/filesystem.h"
 #include "fsmodel/nfs_model.h"
-#include "util/table.h"
+#include "sim/simulation.h"
+
+namespace wlgen::bench {
 
 namespace {
 
-using namespace wlgen;
-
-double run_topology(std::size_t users, std::size_t clients, std::size_t sessions) {
+double topology_point(std::size_t users, std::size_t clients, std::size_t sessions,
+                      std::uint64_t seed) {
   sim::Simulation simulation;
   fs::SimulatedFileSystem fsys;
   fsys.set_clock([&simulation] { return simulation.now(); });
@@ -27,14 +32,14 @@ double run_topology(std::size_t users, std::size_t clients, std::size_t sessions
   fsmodel::NfsModel nfs(simulation, params);
   core::FscConfig fsc_config;
   fsc_config.num_users = users;
-  fsc_config.seed = 61 + users;
+  fsc_config.seed = seed + users;
   core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
   const core::CreatedFileSystem manifest = fsc.create();
   core::UsimConfig config;
   config.num_users = users;
   config.sessions_per_user = sessions;
   config.client_machines = clients;
-  config.seed = 61 + users;
+  config.seed = seed + users;
   core::Population population;
   population.groups.push_back({core::extremely_heavy_user(), 1.0});
   population.validate_and_normalize();
@@ -45,25 +50,48 @@ double run_topology(std::size_t users, std::size_t clients, std::size_t sessions
 
 }  // namespace
 
-int main() {
-  using namespace wlgen;
-  bench::print_header("Ablation — one shared workstation vs one workstation per user",
-                      "the paper's 1-client testbed vs its distributed-system claim");
+exp::Experiment make_ablation_topology() {
+  using exp::Verdict;
+  exp::Experiment experiment;
+  experiment.id = "ablation_topology";
+  experiment.title = "one shared workstation vs one workstation per user";
+  experiment.paper_claim = "the paper's 1-client testbed vs its distributed-system claim";
+  experiment.expectations = {
+      exp::expect_scalar_in_range("speedup_1_user", 0.97, 1.03, Verdict::fail,
+                                  "at one user the topologies must coincide (sanity)"),
+      exp::expect_scalar_in_range("speedup_6_users", 0.9, 3.0, Verdict::fail,
+                                  "private workstations remove only client contention"),
+      exp::expect_monotonic_up("shared client", 0.05, Verdict::fail,
+                               "the shared-client curve must grow with users"),
+      exp::expect_monotonic_up("client per user", 0.05, Verdict::fail,
+                               "the server+Ethernet keep response growing even with "
+                               "private workstations"),
+  };
 
-  util::TextTable table({"users", "shared client us/B", "client per user us/B", "speedup"});
-  for (std::size_t users : {1UL, 2UL, 4UL, 6UL}) {
-    const double shared = run_topology(users, 1, 25);
-    const double spread = run_topology(users, users, 25);
-    table.add_row({std::to_string(users), util::TextTable::num(shared, 2),
-                   util::TextTable::num(spread, 2),
-                   util::TextTable::num(shared / std::max(spread, 1e-9), 2)});
-  }
-  std::cout << table.render();
-  std::cout << "\nReading: at one user the topologies coincide (sanity).  As users grow,\n"
-               "private workstations remove the client CPU/cache contention, but the\n"
-               "shared server disk and Ethernet keep response growing — buying every\n"
-               "user a workstation does not buy back Figure 5.6's slope, it only\n"
-               "shrinks its intercept.  That residual growth is the server-bound\n"
-               "regime NFS deployments of the era actually hit.\n";
-  return 0;
+  experiment.run = [](const exp::RunContext& ctx) {
+    const std::vector<std::size_t> user_counts = {1, 2, 4, 6};
+    const std::size_t sessions = ctx.sessions(25);
+    std::vector<double> xs, shared, spread;
+    for (const std::size_t users : user_counts) {
+      xs.push_back(static_cast<double>(users));
+      shared.push_back(topology_point(users, 1, sessions, ctx.seed + 61));
+      spread.push_back(topology_point(users, users, sessions, ctx.seed + 61));
+    }
+
+    exp::ExperimentResult result;
+    result.x_label = "number of users";
+    result.y_label = "response time per byte (us)";
+    result.add_series("shared client", xs, shared);
+    result.add_series("client per user", xs, spread);
+    result.set_scalar("speedup_1_user", spread.front() > 0.0 ? shared.front() / spread.front() : 0.0);
+    result.set_scalar("speedup_6_users", spread.back() > 0.0 ? shared.back() / spread.back() : 0.0);
+    result.notes.push_back(
+        "Buying every user a workstation does not buy back Figure 5.6's slope, "
+        "it only shrinks its intercept — the residual growth is the "
+        "server-bound regime NFS deployments of the era actually hit.");
+    return result;
+  };
+  return experiment;
 }
+
+}  // namespace wlgen::bench

@@ -7,82 +7,109 @@
 // "what happens when the number of users changes?" — the question the
 // user-oriented generator exists for.
 
-#include <iostream>
+#include <memory>
 
-#include "common/experiment.h"
 #include "core/baseline.h"
+#include "exp/workload.h"
+#include "experiments.h"
+#include "fs/filesystem.h"
 #include "fsmodel/local_model.h"
 #include "fsmodel/nfs_model.h"
 #include "fsmodel/wholefile_model.h"
-#include "util/table.h"
+#include "sim/simulation.h"
+
+namespace wlgen::bench {
 
 namespace {
 
-using namespace wlgen;
+struct BaselinePoint {
+  double andrew_total_ms = 0.0;
+  double buchholz_ms = 0.0;
+};
 
-void run_candidate(const std::string& name, bench::ModelKind kind) {
-  std::cout << "--- " << name << " ---\n";
+BaselinePoint baseline_point(exp::ModelKind kind) {
+  const auto make = [&](sim::Simulation& simulation) -> std::unique_ptr<fsmodel::FileSystemModel> {
+    switch (kind) {
+      case exp::ModelKind::nfs: return std::make_unique<fsmodel::NfsModel>(simulation);
+      case exp::ModelKind::local: return std::make_unique<fsmodel::LocalDiskModel>(simulation);
+      case exp::ModelKind::wholefile:
+        return std::make_unique<fsmodel::WholeFileCacheModel>(simulation);
+    }
+    throw std::logic_error("baseline_point: bad kind");
+  };
 
-  // Andrew-style script.
+  BaselinePoint point;
   {
     sim::Simulation simulation;
     fs::SimulatedFileSystem fsys;
-    std::unique_ptr<fsmodel::FileSystemModel> model;
-    switch (kind) {
-      case bench::ModelKind::nfs: model = std::make_unique<fsmodel::NfsModel>(simulation); break;
-      case bench::ModelKind::local:
-        model = std::make_unique<fsmodel::LocalDiskModel>(simulation);
-        break;
-      case bench::ModelKind::wholefile:
-        model = std::make_unique<fsmodel::WholeFileCacheModel>(simulation);
-        break;
-    }
+    auto model = make(simulation);
     core::ScriptRunner runner(simulation, fsys, *model);
     const core::ScriptResult result =
         runner.run(core::make_andrew_script(core::AndrewConfig{}), core::andrew_phase_names());
-    util::TextTable table({"Andrew phase", "elapsed (ms)"});
-    for (std::size_t i = 0; i < result.phase_us.size(); ++i) {
-      table.add_row({result.phase_names[i], util::TextTable::num(result.phase_us[i] / 1000.0, 1)});
-    }
-    table.add_row({"total", util::TextTable::num(result.total_us / 1000.0, 1)});
-    std::cout << table.render();
+    point.andrew_total_ms = result.total_us / 1000.0;
   }
-
-  // Buchholz synthetic update job.
   {
     sim::Simulation simulation;
     fs::SimulatedFileSystem fsys;
-    std::unique_ptr<fsmodel::FileSystemModel> model;
-    switch (kind) {
-      case bench::ModelKind::nfs: model = std::make_unique<fsmodel::NfsModel>(simulation); break;
-      case bench::ModelKind::local:
-        model = std::make_unique<fsmodel::LocalDiskModel>(simulation);
-        break;
-      case bench::ModelKind::wholefile:
-        model = std::make_unique<fsmodel::WholeFileCacheModel>(simulation);
-        break;
-    }
+    auto model = make(simulation);
     core::ScriptRunner runner(simulation, fsys, *model);
     core::BuchholzConfig config;
     const core::ScriptResult result =
         runner.run(core::make_buchholz_script(config), core::buchholz_phase_names(config));
-    std::cout << "  Buchholz update pass: "
-              << util::TextTable::num(result.phase_us.back() / 1000.0, 1) << " ms for "
-              << config.detail_records << " detail-driven master updates\n\n";
+    point.buchholz_ms = result.phase_us.back() / 1000.0;
   }
+  return point;
 }
 
 }  // namespace
 
-int main() {
-  using namespace wlgen;
-  bench::print_header("Baselines — Andrew-style script and Buchholz synthetic job",
-                      "related work the paper positions against (sections 2.1, 5.3)");
-  run_candidate("SUN NFS model", bench::ModelKind::nfs);
-  run_candidate("local disk model", bench::ModelKind::local);
-  run_candidate("whole-file caching model", bench::ModelKind::wholefile);
-  std::cout << "Contrast with bench/table5_3: the script benchmarks produce one number\n"
-               "per system, while the user-oriented generator sweeps populations and\n"
-               "load levels from the same measured characterisation.\n";
-  return 0;
+exp::Experiment make_baseline_bench() {
+  using exp::Verdict;
+  exp::Experiment experiment;
+  experiment.id = "baseline_bench";
+  experiment.artifact = "Sections 2.1, 5.3";
+  experiment.title = "Andrew-style script and Buchholz synthetic job baselines";
+  experiment.paper_claim = "related work the paper positions against: one number per system";
+  experiment.expectations = {
+      exp::expect_scalar_in_range("andrew_nfs_ms", 1000.0, 100000.0, Verdict::fail,
+                                  "the scripted job takes simulated seconds, not noise"),
+      exp::expect_scalar_in_range("andrew_nfs_over_wholefile", 1.05, 10.0, Verdict::fail,
+                                  "whole-file caching keeps the script's data ops local"),
+      exp::expect_scalar_in_range("buchholz_nfs_over_wholefile", 1.05, 10.0, Verdict::fail,
+                                  "the update job also favours local data ops"),
+  };
+
+  experiment.run = [](const exp::RunContext&) {
+    const std::vector<std::pair<std::string, exp::ModelKind>> candidates = {
+        {"nfs", exp::ModelKind::nfs},
+        {"local", exp::ModelKind::local},
+        {"wholefile", exp::ModelKind::wholefile},
+    };
+    exp::ExperimentResult result;
+    result.x_label = "file-system model (0 = nfs, 1 = local, 2 = wholefile)";
+    result.y_label = "elapsed (ms)";
+    std::vector<double> index, andrew, buchholz;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const BaselinePoint point = baseline_point(candidates[i].second);
+      index.push_back(static_cast<double>(i));
+      andrew.push_back(point.andrew_total_ms);
+      buchholz.push_back(point.buchholz_ms);
+      result.set_scalar("andrew_" + candidates[i].first + "_ms", point.andrew_total_ms);
+      result.set_scalar("buchholz_" + candidates[i].first + "_ms", point.buchholz_ms);
+    }
+    result.add_series("andrew total", index, andrew);
+    result.add_series("buchholz update pass", index, buchholz);
+    result.set_scalar("andrew_nfs_over_wholefile",
+                      andrew[2] > 0.0 ? andrew[0] / andrew[2] : 0.0);
+    result.set_scalar("buchholz_nfs_over_wholefile",
+                      buchholz[2] > 0.0 ? buchholz[0] / buchholz[2] : 0.0);
+    result.notes.push_back(
+        "Contrast with table5_3: the script benchmarks produce one number per "
+        "system, while the user-oriented generator sweeps populations and load "
+        "levels from the same measured characterisation.");
+    return result;
+  };
+  return experiment;
 }
+
+}  // namespace wlgen::bench

@@ -1,0 +1,37 @@
+#include "common/response.h"
+
+#include <utility>
+
+#include "exp/workload.h"
+
+namespace wlgen::bench {
+
+exp::Experiment response_experiment(std::string id, std::string artifact, std::string title,
+                                    core::Population population, std::string paper_claim,
+                                    std::vector<exp::Expectation> expectations) {
+  exp::Experiment experiment;
+  experiment.id = std::move(id);
+  experiment.artifact = std::move(artifact);
+  experiment.title = std::move(title);
+  experiment.paper_claim = std::move(paper_claim);
+  experiment.expectations = std::move(expectations);
+  experiment.run = [population = std::move(population)](const exp::RunContext& ctx) {
+    const std::vector<double> levels =
+        exp::response_per_byte_sweep(population, 6, ctx.sessions(50), ctx.seed);
+    std::vector<double> users;
+    for (std::size_t u = 1; u <= levels.size(); ++u) users.push_back(static_cast<double>(u));
+
+    exp::ExperimentResult result;
+    result.x_label = "number of users using the computer simultaneously";
+    result.y_label = "response time per byte (us)";
+    result.add_series("response", users, levels);
+    result.set_scalar("first_user_us_per_byte", levels.front());
+    result.set_scalar("final_us_per_byte", levels.back());
+    result.set_scalar("growth_ratio",
+                      levels.front() > 0.0 ? levels.back() / levels.front() : 0.0);
+    return result;
+  };
+  return experiment;
+}
+
+}  // namespace wlgen::bench

@@ -3,53 +3,73 @@
 // Runs the paper's comparison procedure: the identical user population and
 // initial file system against each candidate file-system model (SUN-NFS,
 // local disk, Andrew-style whole-file caching), at two load points, and
-// reports per-candidate response statistics — the decision table the paper
-// says a laboratory should build before choosing a file system.
+// grades the decision table the paper says a laboratory should build before
+// choosing a file system.
 
-#include <iostream>
+#include "exp/workload.h"
+#include "experiments.h"
 
-#include "common/experiment.h"
-#include "util/table.h"
+namespace wlgen::bench {
 
-int main() {
-  using namespace wlgen;
-  bench::print_header("Section 5.3 — file system comparison procedure",
-                      "same workload, candidate file systems, compare response per byte");
-
-  const std::vector<std::pair<std::string, bench::ModelKind>> candidates = {
-      {"SUN NFS (remote server)", bench::ModelKind::nfs},
-      {"local disk (UFS-style)", bench::ModelKind::local},
-      {"whole-file caching (Andrew-style)", bench::ModelKind::wholefile},
+exp::Experiment make_compare_fs() {
+  using exp::Verdict;
+  exp::Experiment experiment;
+  experiment.id = "compare_fs";
+  experiment.artifact = "Section 5.3";
+  experiment.title = "file system comparison procedure";
+  experiment.paper_claim =
+      "same workload, candidate file systems; the ranking flips with load";
+  experiment.expectations = {
+      exp::expect_scalar_in_range("nfs_over_local_1u", 1.05, 10.0, Verdict::fail,
+                                  "at one user the local disk wins (no network on the path)"),
+      exp::expect_scalar_in_range("local_over_nfs_4u", 1.05, 10.0, Verdict::fail,
+                                  "at four users the ranking flips: the server's big cache "
+                                  "absorbs the misses thrashing the 4 MB local cache"),
+      exp::expect_scalar_in_range("wholefile_degradation", 0.5, 1.5, Verdict::fail,
+                                  "whole-file caching pays at open/close and degrades most "
+                                  "gently between the load points"),
   };
 
-  for (const std::size_t users : {1UL, 4UL}) {
-    std::cout << "--- " << users << " simultaneous user(s), heavy I/O population ---\n";
-    util::TextTable table({"file system", "resp/byte us", "mean resp us", "std resp us",
-                           "access size B", "sim time s"});
-    for (const auto& [name, kind] : candidates) {
-      bench::ExperimentConfig config;
-      config.num_users = users;
-      config.sessions_per_user = 40;
-      config.model = kind;
-      config.seed = 53;
-      const bench::ExperimentOutput out = bench::run_experiment(config);
-      table.add_row({name, util::TextTable::num(out.response_per_byte_us, 3),
-                     util::TextTable::num(out.response_us.mean(), 0),
-                     util::TextTable::num(out.response_us.stddev(), 0),
-                     util::TextTable::num(out.access_size.mean(), 0),
-                     util::TextTable::num(out.simulated_us / 1e6, 1)});
+  experiment.run = [](const exp::RunContext& ctx) {
+    const std::vector<std::pair<std::string, exp::ModelKind>> candidates = {
+        {"nfs", exp::ModelKind::nfs},
+        {"local", exp::ModelKind::local},
+        {"wholefile", exp::ModelKind::wholefile},
+    };
+    exp::ExperimentResult result;
+    result.x_label = "number of simultaneous users";
+    result.y_label = "response time per byte (us)";
+    std::map<std::string, std::map<std::size_t, double>> levels;
+    for (const std::size_t users : {1UL, 4UL}) {
+      for (const auto& [name, kind] : candidates) {
+        exp::WorkloadConfig config;
+        config.num_users = users;
+        config.sessions_per_user = ctx.sessions(40);
+        config.model = kind;
+        config.seed = ctx.seed + 53;
+        levels[name][users] = exp::run_workload(config).response_per_byte_us;
+      }
     }
-    std::cout << table.render() << "\n";
-  }
-
-  std::cout << "Reading: at one user the local disk wins (no network on the path).  At\n"
-               "four users the ranking flips — the local machine has only its own 4 MB\n"
-               "buffer cache and one spindle, while the NFS server contributes a much\n"
-               "larger cache that absorbs the misses now thrashing the local cache.\n"
-               "The whole-file model pays its cost at open/close and keeps data ops\n"
-               "local, so it degrades most gently.  This is precisely the paper's point\n"
-               "(\"one file system may be better under some particular environment, and\n"
-               "others may be superior under different environments\"): the procedure\n"
-               "exposes the crossover instead of averaging it away.\n";
-  return 0;
+    for (const auto& [name, kind] : candidates) {
+      result.add_series(name, {1.0, 4.0}, {levels[name][1], levels[name][4]});
+      result.set_scalar(name + "_us_per_byte_1u", levels[name][1]);
+      result.set_scalar(name + "_us_per_byte_4u", levels[name][4]);
+    }
+    result.set_scalar("nfs_over_local_1u",
+                      levels["local"][1] > 0.0 ? levels["nfs"][1] / levels["local"][1] : 0.0);
+    result.set_scalar("local_over_nfs_4u",
+                      levels["nfs"][4] > 0.0 ? levels["local"][4] / levels["nfs"][4] : 0.0);
+    result.set_scalar("wholefile_degradation",
+                      levels["wholefile"][1] > 0.0
+                          ? levels["wholefile"][4] / levels["wholefile"][1]
+                          : 0.0);
+    result.notes.push_back(
+        "\"One file system may be better under some particular environment, "
+        "and others may be superior under different environments\": the "
+        "procedure exposes the crossover instead of averaging it away.");
+    return result;
+  };
+  return experiment;
 }
+
+}  // namespace wlgen::bench

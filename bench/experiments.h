@@ -1,0 +1,40 @@
+#pragma once
+
+#include "exp/registry.h"
+
+namespace wlgen::bench {
+
+// The 23 paper experiments, one maker per former standalone bench binary.
+// Each returns a thin exp::Experiment registration: identity, the paper's
+// described curve shape as declarative expectations, and a run function
+// built on the exp::workload engine.
+
+exp::Experiment make_fig5_1();
+exp::Experiment make_fig5_2();
+exp::Experiment make_fig5_3();
+exp::Experiment make_fig5_4();
+exp::Experiment make_fig5_5();
+exp::Experiment make_fig5_6();
+exp::Experiment make_fig5_7();
+exp::Experiment make_fig5_8();
+exp::Experiment make_fig5_9();
+exp::Experiment make_fig5_10();
+exp::Experiment make_fig5_11();
+exp::Experiment make_fig5_12();
+exp::Experiment make_table5_1();
+exp::Experiment make_table5_2();
+exp::Experiment make_table5_3();
+exp::Experiment make_table5_4();
+exp::Experiment make_ablation_cache();
+exp::Experiment make_ablation_cdf_table();
+exp::Experiment make_ablation_markov();
+exp::Experiment make_ablation_smoothing();
+exp::Experiment make_ablation_topology();
+exp::Experiment make_baseline_bench();
+exp::Experiment make_compare_fs();
+
+/// Registers all 23 experiments, in paper order.  Safe to call once per
+/// registry; a second call on the same registry throws (duplicate ids).
+void register_all_experiments(exp::Registry& registry);
+
+}  // namespace wlgen::bench

@@ -1,64 +1,57 @@
 // Figure 5.1 — examples of phase-type exponential distributions.
 //
 // Reproduces the three example densities of the figure (one, two and three
-// phases) as terminal plots and SVG artefacts, and checks the analytic
-// invariants the figure illustrates (unit mass, offsets creating bumps).
+// phases) and checks the analytic invariants the figure illustrates: unit
+// mass on [0, inf) and the published means.
 
-#include <iostream>
-
-#include "common/experiment.h"
-#include "core/spec.h"
 #include "dist/phase_exponential.h"
-#include "util/ascii_plot.h"
+#include "experiments.h"
 #include "util/numeric.h"
-#include "util/svg.h"
 
-int main() {
-  using namespace wlgen;
-  bench::print_header("Figure 5.1 — examples of phase-type exponential distributions",
-                      "f(x)=exp(22.1,x); two-phase; 0.4exp(12.7,x)+0.3exp(18.2,x-18)+...");
+namespace wlgen::bench {
 
-  const std::vector<std::pair<std::string, dist::PhaseTypeExponential>> panels = {
-      {"panel (a): f(x) = exp(22.1, x)", dist::PhaseTypeExponential::paper_example_a()},
-      {"panel (b): two phases", dist::PhaseTypeExponential::paper_example_b()},
-      {"panel (c): f(x) = 0.4exp(12.7,x) + 0.3exp(18.2,x-18) + 0.3exp(15,x-40)",
-       dist::PhaseTypeExponential::paper_example_c()},
-  };
-
-  core::DistributionSpecifier gds;
-  for (const auto& [title, d] : panels) {
-    util::PlotOptions options;
-    options.title = title;
-    options.x_label = "x (0..100, as in the paper)";
-    options.y_label = "f(x)";
-    options.height = 12;
-    std::cout << util::ascii_function([&](double x) { return d.pdf(x); }, 0.0, 100.0, 96,
-                                      options)
-              << "\n";
-    const double mass =
-        util::simpson([&](double x) { return d.pdf(x); }, 0.0, 2000.0, 20000);
-    std::cout << "  mass on [0,inf) ~= " << mass << "   mean = " << d.mean()
-              << "   spec: " << core::serialize_distribution(d) << "\n\n";
+exp::Experiment make_fig5_1() {
+  using exp::Verdict;
+  exp::Experiment experiment;
+  experiment.id = "fig5_1";
+  experiment.artifact = "Figure 5.1";
+  experiment.title = "examples of phase-type exponential distributions";
+  experiment.paper_claim =
+      "f(x)=exp(22.1,x); two-phase; 0.4exp(12.7,x)+0.3exp(18.2,x-18)+0.3exp(15,x-40)";
+  for (const char* panel : {"a", "b", "c"}) {
+    experiment.expectations.push_back(exp::expect_scalar_in_range(
+        std::string("mass_") + panel, 0.98, 1.02, Verdict::fail,
+        "each panel's density must integrate to one"));
   }
+  experiment.expectations.push_back(exp::expect_scalar_in_range(
+      "mean_a", 21.0, 23.0, Verdict::fail, "panel (a) is exp(22.1): analytic mean 22.1"));
 
-  // SVG artefact with all three curves.
-  util::SvgOptions svg_options;
-  svg_options.title = "Figure 5.1: phase-type exponential examples";
-  svg_options.x_label = "x";
-  svg_options.y_label = "f(x)";
-  std::vector<util::SvgSeries> series;
-  const std::vector<std::string> colors = {"#1f77b4", "#d62728", "#2ca02c"};
-  for (std::size_t i = 0; i < panels.size(); ++i) {
-    util::SvgSeries s;
-    s.label = "panel " + std::string(1, static_cast<char>('a' + i));
-    s.color = colors[i];
-    for (double x = 0.0; x <= 100.0; x += 0.5) {
-      s.xs.push_back(x);
-      s.ys.push_back(panels[i].second.pdf(x));
+  experiment.run = [](const exp::RunContext&) {
+    const std::vector<std::pair<std::string, dist::PhaseTypeExponential>> panels = {
+        {"a", dist::PhaseTypeExponential::paper_example_a()},
+        {"b", dist::PhaseTypeExponential::paper_example_b()},
+        {"c", dist::PhaseTypeExponential::paper_example_c()},
+    };
+    exp::ExperimentResult result;
+    result.x_label = "x (0..100, as in the paper)";
+    result.y_label = "f(x)";
+    for (const auto& [panel, d] : panels) {
+      std::vector<double> xs, ys;
+      for (double x = 0.0; x <= 100.0; x += 0.5) {
+        xs.push_back(x);
+        ys.push_back(d.pdf(x));
+      }
+      result.add_series("panel " + panel, std::move(xs), std::move(ys));
+      result.set_scalar("mass_" + panel,
+                        util::simpson([&](double x) { return d.pdf(x); }, 0.0, 2000.0, 20000));
+      result.set_scalar("mean_" + panel, d.mean());
     }
-    series.push_back(std::move(s));
-  }
-  const std::string path = bench::write_artifact("fig5_1.svg", util::svg_plot(series, svg_options));
-  if (!path.empty()) std::cout << "SVG written to " << path << "\n";
-  return 0;
+    result.notes.push_back(
+        "Unit mass and offset bumps are the figure's point: phase offsets s_i "
+        "shift each exponential stage right, composing multi-modal densities.");
+    return result;
+  };
+  return experiment;
 }
+
+}  // namespace wlgen::bench

@@ -3,13 +3,28 @@
 // figures are similar; that means a 5000-microsecond think time is not much
 // different from a 20000-microsecond think time."
 
-#include "common/response_figure.h"
 #include "core/presets.h"
+#include "experiments.h"
+#include "common/response.h"
 
-int main() {
-  using namespace wlgen;
-  bench::run_response_figure("Figure 5.11", "response time per byte, 100% light I/O users",
-                             core::mixed_population(0.0),
-                             "similar average level to Figures 5.7-5.10 (paper section 5.2)");
-  return 0;
+namespace wlgen::bench {
+
+exp::Experiment make_fig5_11() {
+  using exp::Verdict;
+  return response_experiment(
+      "fig5_11", "Figure 5.11", "response time per byte, 100% light I/O users",
+      core::mixed_population(0.0),
+      "similar average level to Figures 5.7-5.10 (paper section 5.2)",
+      {
+          exp::expect_monotonic_up("response", 0.25, Verdict::fail,
+                                   "response per byte still grows with users"),
+          exp::expect_final_in_range("response", 1.0, 3.5, Verdict::warn,
+                                     "paper level: similar to Figures 5.7-5.10"),
+          exp::expect_final_in_range("response", 0.5, 8.0, Verdict::fail,
+                                     "sanity band for the think-time-paced regime"),
+          exp::expect_scalar_in_range("growth_ratio", 1.0, 4.0, Verdict::fail,
+                                      "the lightest population grows most gently"),
+      });
 }
+
+}  // namespace wlgen::bench

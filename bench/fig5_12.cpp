@@ -6,62 +6,60 @@
 // large access sizes for file I/O system calls, which is why most language
 // libraries want to keep a buffer for each file".
 
-#include <iostream>
-
-#include "common/experiment.h"
 #include "core/presets.h"
-#include "util/ascii_plot.h"
-#include "util/svg.h"
-#include "util/table.h"
+#include "exp/workload.h"
+#include "experiments.h"
 
-int main() {
-  using namespace wlgen;
-  bench::print_header("Figure 5.12 — response time per byte vs mean access size",
-                      "decreasing curve from ~4 us/B at 128 B to ~1 us/B at 2048 B");
+namespace wlgen::bench {
 
-  const std::vector<double> means = {128, 256, 512, 768, 1024, 1280, 1536, 1792, 2048};
-  std::vector<double> series;
-  util::TextTable table({"mean access size (B)", "response time per byte (us)"});
-  for (double mean : means) {
-    core::Population population;
-    population.groups.push_back({core::with_access_size_mean(core::extremely_heavy_user(), mean),
-                                 1.0});
-    population.validate_and_normalize();
-    bench::ExperimentConfig config;
-    config.num_users = 1;
-    config.sessions_per_user = 50;  // paper: mean over 50 login sessions
-    config.population = population;
-    config.seed = 512 + static_cast<std::uint64_t>(mean);
-    const bench::ExperimentOutput out = bench::run_experiment(config);
-    series.push_back(out.response_per_byte_us);
-    table.add_row({util::TextTable::num(mean, 0),
-                   util::TextTable::num(out.response_per_byte_us, 3)});
-  }
-  std::cout << table.render() << "\n";
+exp::Experiment make_fig5_12() {
+  using exp::Verdict;
+  exp::Experiment experiment;
+  experiment.id = "fig5_12";
+  experiment.artifact = "Figure 5.12";
+  experiment.title = "response time per byte vs mean access size";
+  experiment.paper_claim = "decreasing curve from ~4 us/B at 128 B to ~1 us/B at 2048 B";
+  experiment.expectations = {
+      exp::expect_monotonic_down("response", 0.15, Verdict::fail,
+                                 "per-byte cost must fall as access size grows (the tail "
+                                 "flattens once the per-call cost is amortised, so small "
+                                 "counter-steps there are sampling noise)"),
+      exp::expect_scalar_in_range("amortisation_ratio", 2.5, 6.0, Verdict::warn,
+                                  "paper: ~4x between 128 B and 2048 B calls"),
+      exp::expect_scalar_in_range("amortisation_ratio", 1.2, 10.0, Verdict::fail,
+                                  "fixed per-call cost must amortise visibly"),
+  };
 
-  util::PlotOptions options;
-  options.title = "response time per byte vs mean access size (extremely heavy user)";
-  options.x_label = "average access size per file I/O system call (B)";
-  options.y_label = "us per byte";
-  options.height = 12;
-  std::cout << util::ascii_curve(means, series, options) << "\n";
+  experiment.run = [](const exp::RunContext& ctx) {
+    const std::vector<double> means = {128, 256, 512, 768, 1024, 1280, 1536, 1792, 2048};
+    std::vector<double> levels;
+    for (const double mean : means) {
+      core::Population population;
+      population.groups.push_back(
+          {core::with_access_size_mean(core::extremely_heavy_user(), mean), 1.0});
+      population.validate_and_normalize();
+      exp::WorkloadConfig config;
+      config.num_users = 1;
+      config.sessions_per_user = ctx.sessions(50);  // paper: mean over 50 login sessions
+      config.population = population;
+      config.seed = ctx.seed + 512 + static_cast<std::uint64_t>(mean);
+      levels.push_back(exp::run_workload(config).response_per_byte_us);
+    }
 
-  util::SvgSeries svg_series;
-  svg_series.xs = means;
-  svg_series.ys = series;
-  svg_series.label = "Figure 5.12";
-  util::SvgOptions svg_options;
-  svg_options.title = "Figure 5.12: per-byte response vs access size";
-  svg_options.x_label = "mean access size (B)";
-  svg_options.y_label = "us per byte";
-  const std::string path =
-      bench::write_artifact("fig5_12.svg", util::svg_plot({svg_series}, svg_options));
-  if (!path.empty()) std::cout << "SVG written to " << path << "\n";
-
-  std::cout << "\nShape: " << util::TextTable::num(series.front(), 2) << " us/B at 128 B vs "
-            << util::TextTable::num(series.back(), 2) << " us/B at 2048 B ("
-            << util::TextTable::num(series.front() / series.back(), 2)
-            << "x) — fixed per-call cost amortised over larger transfers, the paper's\n"
-               "argument for buffered language-level I/O.\n";
-  return 0;
+    exp::ExperimentResult result;
+    result.x_label = "average access size per file I/O system call (B)";
+    result.y_label = "response time per byte (us)";
+    result.add_series("response", means, levels);
+    result.set_scalar("us_per_byte_at_128", levels.front());
+    result.set_scalar("us_per_byte_at_2048", levels.back());
+    result.set_scalar("amortisation_ratio",
+                      levels.back() > 0.0 ? levels.front() / levels.back() : 0.0);
+    result.notes.push_back(
+        "Fixed per-call cost amortised over larger transfers — the paper's "
+        "argument for buffered language-level I/O.");
+    return result;
+  };
+  return experiment;
 }
+
+}  // namespace wlgen::bench

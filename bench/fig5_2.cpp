@@ -1,59 +1,57 @@
 // Figure 5.2 — examples of multi-stage gamma distributions.
+//
+// Same invariants as Figure 5.1 for the gamma family: unit mass and the
+// analytic means of the published example mixtures.
 
-#include <iostream>
-
-#include "common/experiment.h"
-#include "core/spec.h"
 #include "dist/multistage_gamma.h"
-#include "util/ascii_plot.h"
+#include "experiments.h"
 #include "util/numeric.h"
-#include "util/svg.h"
 
-int main() {
-  using namespace wlgen;
-  bench::print_header("Figure 5.2 — examples of multi-stage gamma distributions",
-                      "g(1.5,25.4,x-12); 0.7g(1.4,12.4,x)+0.2g(1.5,12.4,x-23)+0.1g(...,x-41)");
+namespace wlgen::bench {
 
-  const std::vector<std::pair<std::string, dist::MultiStageGamma>> panels = {
-      {"panel (a): single gamma", dist::MultiStageGamma::paper_example_a()},
-      {"panel (b): f(x) = g(1.5, 25.4, x - 12)", dist::MultiStageGamma::paper_example_b()},
-      {"panel (c): f(x) = 0.7g(1.4,12.4,x) + 0.2g(1.5,12.4,x-23) + 0.1g(1.5,12.3,x-41)",
-       dist::MultiStageGamma::paper_example_c()},
-  };
-
-  core::DistributionSpecifier gds;
-  for (const auto& [title, d] : panels) {
-    util::PlotOptions options;
-    options.title = title;
-    options.x_label = "x (0..100, as in the paper)";
-    options.y_label = "f(x)";
-    options.height = 12;
-    std::cout << util::ascii_function([&](double x) { return d.pdf(x); }, 0.0, 100.0, 96,
-                                      options)
-              << "\n";
-    const double mass =
-        util::simpson([&](double x) { return d.pdf(x); }, 0.0, 2000.0, 20000);
-    std::cout << "  mass on [0,inf) ~= " << mass << "   mean = " << d.mean()
-              << "   spec: " << core::serialize_distribution(d) << "\n\n";
+exp::Experiment make_fig5_2() {
+  using exp::Verdict;
+  exp::Experiment experiment;
+  experiment.id = "fig5_2";
+  experiment.artifact = "Figure 5.2";
+  experiment.title = "examples of multi-stage gamma distributions";
+  experiment.paper_claim =
+      "g(1.5,25.4,x-12); 0.7g(1.4,12.4,x)+0.2g(1.5,12.4,x-23)+0.1g(1.5,12.3,x-41)";
+  for (const char* panel : {"a", "b", "c"}) {
+    experiment.expectations.push_back(exp::expect_scalar_in_range(
+        std::string("mass_") + panel, 0.98, 1.02, Verdict::fail,
+        "each panel's density must integrate to one"));
   }
+  experiment.expectations.push_back(exp::expect_scalar_in_range(
+      "mean_b", 48.0, 52.0, Verdict::fail,
+      "panel (b) is g(1.5, 25.4, x-12): analytic mean 1.5*25.4+12 = 50.1"));
 
-  util::SvgOptions svg_options;
-  svg_options.title = "Figure 5.2: multi-stage gamma examples";
-  svg_options.x_label = "x";
-  svg_options.y_label = "f(x)";
-  std::vector<util::SvgSeries> series;
-  const std::vector<std::string> colors = {"#1f77b4", "#d62728", "#2ca02c"};
-  for (std::size_t i = 0; i < panels.size(); ++i) {
-    util::SvgSeries s;
-    s.label = "panel " + std::string(1, static_cast<char>('a' + i));
-    s.color = colors[i];
-    for (double x = 0.0; x <= 100.0; x += 0.5) {
-      s.xs.push_back(x);
-      s.ys.push_back(panels[i].second.pdf(x));
+  experiment.run = [](const exp::RunContext&) {
+    const std::vector<std::pair<std::string, dist::MultiStageGamma>> panels = {
+        {"a", dist::MultiStageGamma::paper_example_a()},
+        {"b", dist::MultiStageGamma::paper_example_b()},
+        {"c", dist::MultiStageGamma::paper_example_c()},
+    };
+    exp::ExperimentResult result;
+    result.x_label = "x (0..100, as in the paper)";
+    result.y_label = "f(x)";
+    for (const auto& [panel, d] : panels) {
+      std::vector<double> xs, ys;
+      for (double x = 0.0; x <= 100.0; x += 0.5) {
+        xs.push_back(x);
+        ys.push_back(d.pdf(x));
+      }
+      result.add_series("panel " + panel, std::move(xs), std::move(ys));
+      result.set_scalar("mass_" + panel,
+                        util::simpson([&](double x) { return d.pdf(x); }, 0.0, 2000.0, 20000));
+      result.set_scalar("mean_" + panel, d.mean());
     }
-    series.push_back(std::move(s));
-  }
-  const std::string path = bench::write_artifact("fig5_2.svg", util::svg_plot(series, svg_options));
-  if (!path.empty()) std::cout << "SVG written to " << path << "\n";
-  return 0;
+    result.notes.push_back(
+        "The gamma family adds a shape knob alpha over Figure 5.1's exponential "
+        "stages; stage offsets again compose multi-modal densities.");
+    return result;
+  };
+  return experiment;
 }
+
+}  // namespace wlgen::bench

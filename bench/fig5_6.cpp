@@ -3,16 +3,35 @@
 // number of users ... because all the users compete for resources all the
 // time"; the curve climbs to ~10-15 us/byte at 6 users.
 
-#include "common/response_figure.h"
 #include "core/presets.h"
+#include "experiments.h"
+#include "common/response.h"
 
-int main() {
-  using namespace wlgen;
+namespace wlgen::bench {
+
+exp::Experiment make_fig5_6() {
+  using exp::Verdict;
   core::Population population;
   population.groups.push_back({core::extremely_heavy_user(), 1.0});
   population.validate_and_normalize();
-  bench::run_response_figure(
-      "Figure 5.6", "response time per byte, 100% extremely heavy I/O users", population,
-      "near-linear growth, steepest of Figs 5.6-5.11 (saturated server)");
-  return 0;
+  return response_experiment(
+      "fig5_6", "Figure 5.6", "response time per byte, 100% extremely heavy I/O users",
+      std::move(population),
+      "near-linear growth, steepest of Figs 5.6-5.11 (saturated server), "
+      "climbing to ~10-15 us/byte at 6 users",
+      {
+          exp::expect_monotonic_up("response", 0.05, Verdict::fail,
+                                   "saturated users: each added user must raise the level"),
+          exp::expect_approx_linear("response", 0.25, Verdict::warn,
+                                    "paper: \"the response time has a linear relation to "
+                                    "the number of users\""),
+          exp::expect_final_in_range("response", 10.0, 15.0, Verdict::warn,
+                                     "paper level: climbs to ~10-15 us/byte at 6 users"),
+          exp::expect_final_in_range("response", 3.0, 30.0, Verdict::fail,
+                                     "sanity band around the paper's 6-user level"),
+          exp::expect_scalar_in_range("growth_ratio", 2.0, 8.0, Verdict::fail,
+                                      "steepest curve of the series: strong contention growth"),
+      });
 }
+
+}  // namespace wlgen::bench

@@ -2,13 +2,27 @@
 // (exp(5000) us think time).  Paper: shallow growth, ~1-3 us/byte, much
 // flatter than Figure 5.6.
 
-#include "common/response_figure.h"
 #include "core/presets.h"
+#include "experiments.h"
+#include "common/response.h"
 
-int main() {
-  using namespace wlgen;
-  bench::run_response_figure("Figure 5.7", "response time per byte, 100% heavy I/O users",
-                             core::mixed_population(1.0),
-                             "flat-ish 1-3 us/byte; slope far below Figure 5.6");
-  return 0;
+namespace wlgen::bench {
+
+exp::Experiment make_fig5_7() {
+  using exp::Verdict;
+  return response_experiment(
+      "fig5_7", "Figure 5.7", "response time per byte, 100% heavy I/O users",
+      core::mixed_population(1.0), "flat-ish 1-3 us/byte; slope far below Figure 5.6",
+      {
+          exp::expect_monotonic_up("response", 0.15, Verdict::fail,
+                                   "contention still grows with users, just gently"),
+          exp::expect_final_in_range("response", 1.0, 3.5, Verdict::warn,
+                                     "paper level: ~1-3 us/byte across 1..6 users"),
+          exp::expect_final_in_range("response", 0.5, 8.0, Verdict::fail,
+                                     "sanity band for the think-time-paced regime"),
+          exp::expect_scalar_in_range("growth_ratio", 1.0, 4.0, Verdict::fail,
+                                      "slope far below Figure 5.6's saturated growth"),
+      });
 }
+
+}  // namespace wlgen::bench

@@ -2,14 +2,27 @@
 // users.  Paper: similar level to Figure 5.7 (the 5000 vs 20000 us think
 // times barely separate given the response-time variance).
 
-#include "common/response_figure.h"
 #include "core/presets.h"
+#include "experiments.h"
+#include "common/response.h"
 
-int main() {
-  using namespace wlgen;
-  bench::run_response_figure("Figure 5.8",
-                             "response time per byte, 80% heavy / 20% light I/O users",
-                             core::mixed_population(0.8),
-                             "level and slope close to Figure 5.7");
-  return 0;
+namespace wlgen::bench {
+
+exp::Experiment make_fig5_8() {
+  using exp::Verdict;
+  return response_experiment(
+      "fig5_8", "Figure 5.8", "response time per byte, 80% heavy / 20% light I/O users",
+      core::mixed_population(0.8), "level and slope close to Figure 5.7",
+      {
+          exp::expect_monotonic_up("response", 0.2, Verdict::fail,
+                                   "response per byte still grows with users"),
+          exp::expect_final_in_range("response", 1.0, 3.5, Verdict::warn,
+                                     "paper level: close to Figure 5.7's 1-3 us/byte"),
+          exp::expect_final_in_range("response", 0.5, 8.0, Verdict::fail,
+                                     "sanity band for the think-time-paced regime"),
+          exp::expect_scalar_in_range("growth_ratio", 1.0, 4.0, Verdict::fail,
+                                      "slope stays far below Figure 5.6"),
+      });
 }
+
+}  // namespace wlgen::bench

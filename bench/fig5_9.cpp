@@ -1,14 +1,27 @@
 // Figure 5.9 — average response time per byte, 50% heavy / 50% light I/O
-// users.
+// users.  Paper section 5.2's point: the mixed curves barely separate.
 
-#include "common/response_figure.h"
 #include "core/presets.h"
+#include "experiments.h"
+#include "common/response.h"
 
-int main() {
-  using namespace wlgen;
-  bench::run_response_figure("Figure 5.9",
-                             "response time per byte, 50% heavy / 50% light I/O users",
-                             core::mixed_population(0.5),
-                             "level and slope close to Figures 5.7/5.8 (paper 5.2's point)");
-  return 0;
+namespace wlgen::bench {
+
+exp::Experiment make_fig5_9() {
+  using exp::Verdict;
+  return response_experiment(
+      "fig5_9", "Figure 5.9", "response time per byte, 50% heavy / 50% light I/O users",
+      core::mixed_population(0.5), "level and slope close to Figures 5.7/5.8",
+      {
+          exp::expect_monotonic_up("response", 0.25, Verdict::fail,
+                                   "response per byte still grows with users"),
+          exp::expect_final_in_range("response", 1.0, 3.5, Verdict::warn,
+                                     "paper level: close to Figures 5.7/5.8"),
+          exp::expect_final_in_range("response", 0.5, 8.0, Verdict::fail,
+                                     "sanity band for the think-time-paced regime"),
+          exp::expect_scalar_in_range("growth_ratio", 1.0, 4.0, Verdict::fail,
+                                      "slope stays far below Figure 5.6"),
+      });
 }
+
+}  // namespace wlgen::bench

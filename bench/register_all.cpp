@@ -1,0 +1,35 @@
+// Explicit registration of every paper experiment — no static-initialiser
+// self-registration, so the linker can never silently drop an experiment and
+// the registry order is the paper's artefact order.
+
+#include "experiments.h"
+
+namespace wlgen::bench {
+
+void register_all_experiments(exp::Registry& registry) {
+  registry.add(make_fig5_1());
+  registry.add(make_fig5_2());
+  registry.add(make_fig5_3());
+  registry.add(make_fig5_4());
+  registry.add(make_fig5_5());
+  registry.add(make_fig5_6());
+  registry.add(make_fig5_7());
+  registry.add(make_fig5_8());
+  registry.add(make_fig5_9());
+  registry.add(make_fig5_10());
+  registry.add(make_fig5_11());
+  registry.add(make_fig5_12());
+  registry.add(make_table5_1());
+  registry.add(make_table5_2());
+  registry.add(make_table5_3());
+  registry.add(make_table5_4());
+  registry.add(make_compare_fs());
+  registry.add(make_baseline_bench());
+  registry.add(make_ablation_cache());
+  registry.add(make_ablation_cdf_table());
+  registry.add(make_ablation_markov());
+  registry.add(make_ablation_smoothing());
+  registry.add(make_ablation_topology());
+}
+
+}  // namespace wlgen::bench

@@ -1,81 +1,102 @@
 // Table 5.1 — "File characterization by file category".
 //
 // The FSC builds the initial file system from the paper's category profile;
-// this bench then re-measures the *built* file system (mean size and
-// fraction of files per category) and prints it beside the paper's targets.
+// this experiment then re-measures the *built* file system (mean size and
+// fraction of files per category) and grades the deviation from the paper's
+// targets.
 
-#include <iostream>
 #include <map>
 
-#include "common/experiment.h"
 #include "core/fsc.h"
 #include "core/presets.h"
+#include "exp/workload.h"
+#include "experiments.h"
+#include "fs/filesystem.h"
 #include "stats/summary.h"
-#include "util/table.h"
 
-int main() {
-  using namespace wlgen;
-  bench::print_header("Table 5.1 — file characterization by file category",
-                      "9 categories; mean file size 714..31347 B; fractions 3.2%..38.2%");
+namespace wlgen::bench {
 
-  fs::SimulatedFileSystem fsys;
-  core::FscConfig config;
-  config.num_users = 8;
-  config.files_per_user = 400;  // large build so fractions converge
-  // Table 5.1 puts 14.6% of all files in the NOTES+OTHER categories and
-  // 74.3% in the USER regular categories; size the system tree to match the
-  // regular-file split: 3200 x 14.6/74.3 ~ 628.
-  config.system_files = 628;
-  core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), config);
-  const core::CreatedFileSystem manifest = fsc.create();
+exp::Experiment make_table5_1() {
+  using exp::Verdict;
+  exp::Experiment experiment;
+  experiment.id = "table5_1";
+  experiment.artifact = "Table 5.1";
+  experiment.title = "file characterization by file category";
+  experiment.paper_claim = "9 categories; mean file size 714..31347 B; fractions 3.2%..38.2%";
+  experiment.expectations = {
+      exp::expect_scalar_in_range("mean_abs_size_rel_err", 0.0, 0.15, Verdict::warn,
+                                  "built category mean sizes track the paper targets"),
+      exp::expect_scalar_in_range("mean_abs_size_rel_err", 0.0, 0.4, Verdict::fail,
+                                  "the FSC samples sizes from the Table 5.1 distributions"),
+      exp::expect_scalar_in_range("mean_abs_fraction_err_pct", 0.0, 2.5, Verdict::warn,
+                                  "category fractions converge on the paper's percent column"),
+      exp::expect_scalar_in_range("mean_abs_fraction_err_pct", 0.0, 6.0, Verdict::fail,
+                                  "category sampling must follow the published fractions"),
+  };
 
-  std::map<std::string, stats::RunningSummary> sizes;
-  std::size_t regular_total = 0;
-  for (const auto& f : manifest.files()) {
-    sizes[f.category.label()].add(static_cast<double>(f.size));
-    if (f.category.file_type == core::FileType::regular) ++regular_total;
-  }
+  experiment.run = [](const exp::RunContext& ctx) {
+    fs::SimulatedFileSystem fsys;
+    core::FscConfig config;
+    config.num_users = 8;
+    config.files_per_user = 400;  // large build so fractions converge
+    config.seed = ctx.seed;
+    // Table 5.1 puts 14.6% of all files in the NOTES+OTHER categories and
+    // 74.3% in the USER regular categories; size the system tree to match
+    // the regular-file split: 3200 x 14.6/74.3 ~ 628.
+    config.system_files = 628;
+    core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), config);
+    const core::CreatedFileSystem manifest = fsc.create();
 
-  // The paper's percent column includes the directory categories in its
-  // denominator; re-measured fractions below are over regular files, so the
-  // paper's targets are rescaled by the total regular fraction (88.9%).
-  double regular_fraction_total = 0.0;
-  for (const auto& profile : core::di86_file_profiles()) {
-    if (profile.category.file_type == core::FileType::regular) {
-      regular_fraction_total += profile.fraction_of_files;
+    std::map<std::string, stats::RunningSummary> sizes;
+    std::size_t regular_total = 0;
+    for (const auto& f : manifest.files()) {
+      sizes[f.category.label()].add(static_cast<double>(f.size));
+      if (f.category.file_type == core::FileType::regular) ++regular_total;
     }
-  }
 
-  util::TextTable table({"file category", "paper mean size", "measured mean size",
-                         "paper % (of regular)", "measured % files"});
-  for (const auto& profile : core::di86_file_profiles()) {
-    const std::string label = profile.category.label();
-    const auto it = sizes.find(label);
-    std::string measured_size = "-";
-    std::string measured_frac = "-";
-    if (it != sizes.end()) {
-      measured_size = util::TextTable::num(it->second.mean(), 0);
+    // The paper's percent column includes the directory categories in its
+    // denominator; re-measured fractions are over regular files, so the
+    // paper's targets are rescaled by the total regular fraction (88.9%).
+    double regular_fraction_total = 0.0;
+    for (const auto& profile : core::di86_file_profiles()) {
       if (profile.category.file_type == core::FileType::regular) {
-        measured_frac = util::TextTable::num(
-            100.0 * static_cast<double>(it->second.count()) /
-                static_cast<double>(regular_total),
-            1);
-      } else {
-        // Directory sizes are emergent (entry bytes), not sampled; their
-        // fraction is set by the layout (one per user + the system dirs).
-        measured_frac = "(layout)";
+        regular_fraction_total += profile.fraction_of_files;
       }
     }
-    const double paper_pct = profile.category.file_type == core::FileType::regular
-                                 ? profile.fraction_of_files / regular_fraction_total * 100.0
-                                 : profile.fraction_of_files * 100.0;
-    table.add_row({label, util::TextTable::num(profile.size_dist->mean(), 0), measured_size,
-                   util::TextTable::num(paper_pct, 1), measured_frac});
-  }
-  std::cout << table.render();
-  std::cout << "\nBuilt " << manifest.file_count() << " files, " << fsys.bytes_in_use() / 1024
-            << " KiB. Regular-file fractions are re-measured from the built file\n"
-               "system; the paper's % column for regular categories is the FSC's target.\n"
-               "Directory sizes emerge from real entry counts rather than sampling.\n";
-  return 0;
+
+    exp::ExperimentResult result;
+    result.x_label = "file category index (Table 5.1 order, regular categories)";
+    result.y_label = "mean file size (B)";
+    std::vector<double> index, paper_size, measured_size;
+    double size_err = 0.0, frac_err = 0.0;
+    std::size_t measured = 0;
+    for (const auto& profile : core::di86_file_profiles()) {
+      if (profile.category.file_type != core::FileType::regular) continue;
+      const auto it = sizes.find(profile.category.label());
+      if (it == sizes.end() || it->second.count() == 0) continue;
+      index.push_back(static_cast<double>(index.size() + 1));
+      paper_size.push_back(profile.size_dist->mean());
+      measured_size.push_back(it->second.mean());
+      size_err += std::fabs(it->second.mean() - profile.size_dist->mean()) /
+                  profile.size_dist->mean();
+      const double paper_pct = profile.fraction_of_files / regular_fraction_total * 100.0;
+      const double measured_pct =
+          100.0 * static_cast<double>(it->second.count()) / static_cast<double>(regular_total);
+      frac_err += std::fabs(measured_pct - paper_pct);
+      ++measured;
+    }
+    result.add_series("paper mean size", index, paper_size);
+    result.add_series("measured mean size", index, measured_size);
+    result.set_scalar("categories_measured", static_cast<double>(measured));
+    result.set_scalar("mean_abs_size_rel_err", measured > 0 ? size_err / measured : 1.0);
+    result.set_scalar("mean_abs_fraction_err_pct", measured > 0 ? frac_err / measured : 100.0);
+    result.set_scalar("files_built", static_cast<double>(manifest.file_count()));
+    result.notes.push_back(
+        "Regular-file fractions are re-measured from the built file system; "
+        "directory sizes emerge from real entry counts rather than sampling.");
+    return result;
+  };
+  return experiment;
 }
+
+}  // namespace wlgen::bench

@@ -1,0 +1,52 @@
+#include "exp/artifacts.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <system_error>
+
+#include "util/strings.h"
+#include "util/svg.h"
+
+namespace wlgen::exp {
+
+std::string artifact_dir(const std::string& explicit_dir) {
+  if (!explicit_dir.empty()) return explicit_dir;
+  const char* env = std::getenv("WLGEN_OUT");
+  return env != nullptr && *env != '\0' ? env : "artifacts";
+}
+
+namespace {
+
+std::string write_resolved(const std::string& dir, const std::string& filename,
+                           const std::string& content) {
+  const std::string path = dir + "/" + filename;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "warning: cannot create artifact directory '" << dir << "': " << ec.message()
+              << " — dropping " << path << "\n";
+    return {};
+  }
+  try {
+    util::write_text_file(path, content);
+  } catch (const std::exception& e) {
+    std::cerr << "warning: artifact write failed: " << e.what() << "\n";
+    return {};
+  }
+  return path;
+}
+
+}  // namespace
+
+std::string write_artifact(const std::string& dir, const std::string& name,
+                           const std::string& content) {
+  return write_resolved(dir, util::slugify_filename(name), content);
+}
+
+std::string write_artifact_verbatim(const std::string& dir, const std::string& name,
+                                    const std::string& content) {
+  return write_resolved(dir, name, content);
+}
+
+}  // namespace wlgen::exp

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+namespace wlgen::exp {
+
+/// Resolves the artifact output directory: `explicit_dir` when non-empty,
+/// else $WLGEN_OUT, else "artifacts".
+std::string artifact_dir(const std::string& explicit_dir = {});
+
+/// Writes one artifact under `dir`, slugifying the file name
+/// ("Figure 5.6.svg" -> "figure_5_6.svg") and creating the directory first
+/// (std::filesystem::create_directories).  Returns the path written, or an
+/// empty string on failure — and, unlike the old bench/common helper, a
+/// failure is reported on stderr instead of being swallowed (a missing
+/// artifacts/ directory used to silently drop every SVG).
+std::string write_artifact(const std::string& dir, const std::string& name,
+                           const std::string& content);
+
+/// Same, but keeps the file name verbatim — for fixed-case artifacts like
+/// EXPERIMENTS.md.
+std::string write_artifact_verbatim(const std::string& dir, const std::string& name,
+                                    const std::string& content);
+
+}  // namespace wlgen::exp

@@ -1,0 +1,166 @@
+#include "exp/expectation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace wlgen::exp {
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream out;
+  out.precision(4);
+  out << v;
+  return out.str();
+}
+
+const char* kind_name(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::monotonic_up: return "monotonic-up";
+    case CheckKind::monotonic_down: return "monotonic-down";
+    case CheckKind::approx_linear: return "approx-linear";
+    case CheckKind::final_in_range: return "final-in-range";
+    case CheckKind::scalar_in_range: return "scalar-in-range";
+  }
+  return "?";
+}
+
+CheckOutcome missing_target(const Expectation& e, const char* what) {
+  return {Verdict::fail, std::string(kind_name(e.kind)) + " '" + e.target + "': " + what +
+                             " not produced by the experiment"};
+}
+
+}  // namespace
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::pass: return "PASS";
+    case Verdict::warn: return "WARN";
+    case Verdict::fail: return "FAIL";
+  }
+  return "?";
+}
+
+Verdict worst(Verdict a, Verdict b) { return static_cast<int>(a) >= static_cast<int>(b) ? a : b; }
+
+Expectation expect_monotonic_up(std::string series, double tol, Verdict on_violation,
+                                std::string note) {
+  return {CheckKind::monotonic_up, std::move(series), 0, 0, tol, on_violation, std::move(note)};
+}
+
+Expectation expect_monotonic_down(std::string series, double tol, Verdict on_violation,
+                                  std::string note) {
+  return {CheckKind::monotonic_down, std::move(series), 0, 0, tol, on_violation,
+          std::move(note)};
+}
+
+Expectation expect_approx_linear(std::string series, double tol, Verdict on_violation,
+                                 std::string note) {
+  return {CheckKind::approx_linear, std::move(series), 0, 0, tol, on_violation,
+          std::move(note)};
+}
+
+Expectation expect_final_in_range(std::string series, double lo, double hi,
+                                  Verdict on_violation, std::string note) {
+  return {CheckKind::final_in_range, std::move(series), lo, hi, 0, on_violation,
+          std::move(note)};
+}
+
+Expectation expect_scalar_in_range(std::string scalar, double lo, double hi,
+                                   Verdict on_violation, std::string note) {
+  return {CheckKind::scalar_in_range, std::move(scalar), lo, hi, 0, on_violation,
+          std::move(note)};
+}
+
+CheckOutcome check_expectation(const Expectation& e, const ExperimentResult& result,
+                               double scale) {
+  const bool reduced_profile = scale < 1.0;
+  const bool is_range_check =
+      e.kind == CheckKind::final_in_range || e.kind == CheckKind::scalar_in_range;
+  Verdict on_violation = e.on_violation;
+  if (reduced_profile && is_range_check && on_violation == Verdict::fail) {
+    on_violation = Verdict::warn;
+  }
+  // Session means get noisier as 1/sqrt(sessions): widen shape tolerances
+  // accordingly so a reduced profile grades the same underlying shape.
+  const double tol = reduced_profile && scale > 0.0 ? e.tol / std::sqrt(scale) : e.tol;
+
+  bool violated = false;
+  std::string detail;
+
+  switch (e.kind) {
+    case CheckKind::monotonic_up:
+    case CheckKind::monotonic_down: {
+      const ResultSeries* s = result.find_series(e.target);
+      if (s == nullptr) return missing_target(e, "series");
+      if (s->ys.size() < 2) return missing_target(e, "a >= 2 point series");
+      const auto [lo_it, hi_it] = std::minmax_element(s->ys.begin(), s->ys.end());
+      const double slack = tol * (*hi_it - *lo_it);
+      double worst_step = 0.0;
+      for (std::size_t i = 1; i < s->ys.size(); ++i) {
+        const double step = s->ys[i] - s->ys[i - 1];
+        const double against = e.kind == CheckKind::monotonic_up ? -step : step;
+        worst_step = std::max(worst_step, against);
+      }
+      violated = worst_step > slack;
+      detail = "worst counter-step " + num(worst_step) + " vs slack " + num(slack);
+      break;
+    }
+    case CheckKind::approx_linear: {
+      const ResultSeries* s = result.find_series(e.target);
+      if (s == nullptr) return missing_target(e, "series");
+      if (s->ys.size() < 3) return missing_target(e, "a >= 3 point series");
+      const double x0 = s->xs.front(), x1 = s->xs.back();
+      const double y0 = s->ys.front(), y1 = s->ys.back();
+      const double y_scale = std::max(std::fabs(y1), 1e-12);
+      double max_dev = 0.0;
+      for (std::size_t i = 0; i < s->ys.size(); ++i) {
+        const double t = x1 != x0 ? (s->xs[i] - x0) / (x1 - x0) : 0.0;
+        max_dev = std::max(max_dev, std::fabs(s->ys[i] - (y0 + t * (y1 - y0))));
+      }
+      violated = max_dev / y_scale > tol;
+      detail = "max deviation from the endpoint chord " + num(100.0 * max_dev / y_scale) +
+               "% vs " + num(100.0 * tol) + "% allowed";
+      break;
+    }
+    case CheckKind::final_in_range: {
+      const ResultSeries* s = result.find_series(e.target);
+      if (s == nullptr) return missing_target(e, "series");
+      if (s->ys.empty()) return missing_target(e, "a non-empty series");
+      const double v = s->ys.back();
+      violated = v < e.lo || v > e.hi;
+      detail = "final value " + num(v) + " vs [" + num(e.lo) + ", " + num(e.hi) + "]";
+      break;
+    }
+    case CheckKind::scalar_in_range: {
+      const double* v = result.find_scalar(e.target);
+      if (v == nullptr) return missing_target(e, "scalar");
+      violated = *v < e.lo || *v > e.hi;
+      detail = "value " + num(*v) + " vs [" + num(e.lo) + ", " + num(e.hi) + "]";
+      break;
+    }
+  }
+
+  CheckOutcome out;
+  out.verdict = violated ? on_violation : Verdict::pass;
+  out.description = std::string(kind_name(e.kind)) + " '" + e.target + "': " + detail;
+  if (violated && reduced_profile && is_range_check && e.on_violation == Verdict::fail) {
+    out.description += " (fail demoted to warn: reduced session profile)";
+  }
+  if (!e.note.empty()) out.description += " — " + e.note;
+  return out;
+}
+
+Verdict grade(const std::vector<Expectation>& expectations, const ExperimentResult& result,
+              double scale, std::vector<CheckOutcome>* outcomes) {
+  Verdict verdict = Verdict::pass;
+  for (const auto& e : expectations) {
+    const CheckOutcome outcome = check_expectation(e, result, scale);
+    verdict = worst(verdict, outcome.verdict);
+    if (outcomes != nullptr) outcomes->push_back(outcome);
+  }
+  return verdict;
+}
+
+}  // namespace wlgen::exp

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/result.h"
+
+namespace wlgen::exp {
+
+/// Verdict ladder; an experiment's verdict is the worst of its checks.
+enum class Verdict { pass, warn, fail };
+
+const char* to_string(Verdict v);
+Verdict worst(Verdict a, Verdict b);
+
+/// What a single expectation asserts about an ExperimentResult.
+enum class CheckKind {
+  monotonic_up,     ///< series never steps down by more than tol x range
+  monotonic_down,   ///< series never steps up by more than tol x range
+  approx_linear,    ///< max deviation from the endpoint chord <= tol x |last|
+  final_in_range,   ///< last series value in [lo, hi]
+  scalar_in_range,  ///< named scalar in [lo, hi]
+};
+
+/// One declarative check against the paper's described curve shape, e.g.
+/// "climbs to ~10-15 us/byte at 6 users" becomes
+///   {final_in_range, "response", 10, 15, 0, Verdict::warn, "paper: ..."}.
+///
+/// `on_violation` is the verdict when the check fails: use Verdict::warn for
+/// the paper's quantitative levels (a reproduction tracks shapes more
+/// faithfully than absolute 1992 hardware numbers) and Verdict::fail for
+/// shape invariants and sanity bands that must hold.
+struct Expectation {
+  CheckKind kind = CheckKind::scalar_in_range;
+  std::string target;  ///< series name (shape/final checks) or scalar name
+  double lo = 0.0;     ///< range checks
+  double hi = 0.0;
+  double tol = 0.0;    ///< monotonic: allowed counter-step as fraction of the
+                       ///< series range; approx_linear: max relative deviation
+  Verdict on_violation = Verdict::fail;
+  std::string note;    ///< the paper claim being encoded, quoted in reports
+};
+
+/// Convenience constructors — the registration DSL the bench files use.
+Expectation expect_monotonic_up(std::string series, double tol, Verdict on_violation,
+                                std::string note);
+Expectation expect_monotonic_down(std::string series, double tol, Verdict on_violation,
+                                  std::string note);
+Expectation expect_approx_linear(std::string series, double tol, Verdict on_violation,
+                                 std::string note);
+Expectation expect_final_in_range(std::string series, double lo, double hi,
+                                  Verdict on_violation, std::string note);
+Expectation expect_scalar_in_range(std::string scalar, double lo, double hi,
+                                   Verdict on_violation, std::string note);
+
+/// Outcome of checking one expectation.
+struct CheckOutcome {
+  Verdict verdict = Verdict::pass;
+  std::string description;  ///< what was checked, with measured numbers
+};
+
+/// Grades one expectation against a result.  A missing target is always a
+/// fail (the experiment did not produce what it promised).  `scale` is the
+/// run's session-count scale; when it is below 1 (a reduced profile, e.g.
+/// CI), two adjustments keep the checks meaningful:
+///   - violated *range* checks are demoted from fail to warn — absolute
+///     levels drift with session count;
+///   - shape tolerances (monotonic/linear `tol`) are widened by 1/sqrt(scale)
+///     — the standard error of an n-session mean grows as 1/sqrt(n) — but
+///     the checks themselves stay hard.
+CheckOutcome check_expectation(const Expectation& e, const ExperimentResult& result,
+                               double scale = 1.0);
+
+/// Worst verdict over all expectations (pass when the list is empty).
+Verdict grade(const std::vector<Expectation>& expectations, const ExperimentResult& result,
+              double scale = 1.0, std::vector<CheckOutcome>* outcomes = nullptr);
+
+}  // namespace wlgen::exp

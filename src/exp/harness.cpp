@@ -1,0 +1,255 @@
+#include "exp/harness.h"
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/artifacts.h"
+#include "runner/pool.h"
+#include "util/svg.h"
+#include "util/table.h"
+
+namespace wlgen::exp {
+
+namespace {
+
+/// Default series palette (matplotlib tab colors, as the old benches used).
+const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"};
+
+std::string render_svg(const Experiment& experiment, const ExperimentResult& result) {
+  std::vector<util::SvgSeries> series;
+  for (std::size_t i = 0; i < result.series.size(); ++i) {
+    const ResultSeries& s = result.series[i];
+    util::SvgSeries one;
+    one.xs = s.xs;
+    one.ys = s.ys;
+    one.label = s.name;
+    one.color = !s.color.empty() ? s.color : kPalette[i % (sizeof kPalette / sizeof *kPalette)];
+    series.push_back(std::move(one));
+  }
+  util::SvgOptions options;
+  options.title = experiment.artifact.empty()
+                      ? experiment.title
+                      : experiment.artifact + ": " + experiment.title;
+  options.x_label = result.x_label;
+  options.y_label = result.y_label;
+  return util::svg_plot(series, options);
+}
+
+util::JsonValue report_json(const ExperimentReport& report, const HarnessOptions& options) {
+  using util::JsonValue;
+  JsonValue doc = JsonValue::make_object();
+  doc.set("id", report.id);
+  doc.set("artifact", report.artifact);
+  doc.set("title", report.title);
+  doc.set("seed", static_cast<double>(options.seed));
+  doc.set("scale", options.scale);
+  if (options.check) doc.set("verdict", to_string(report.verdict));
+  if (!report.error.empty()) doc.set("error", report.error);
+  JsonValue checks = JsonValue::make_array();
+  for (const auto& c : report.checks) {
+    JsonValue one = JsonValue::make_object();
+    one.set("verdict", to_string(c.verdict));
+    one.set("check", c.description);
+    checks.push_back(std::move(one));
+  }
+  doc.set("checks", std::move(checks));
+  doc.set("result", report.result.to_json());
+  return doc;
+}
+
+/// {verdict, checks} display cells, shared by the stdout table and
+/// EXPERIMENTS.md: "-" when nothing was graded, "run failed" on a throw.
+std::pair<std::string, std::string> verdict_cells(const ExperimentReport& report, bool check);
+
+std::string check_counts(const ExperimentReport& report) {
+  std::size_t pass = 0, warn = 0, fail = 0;
+  for (const auto& c : report.checks) {
+    if (c.verdict == Verdict::pass) ++pass;
+    else if (c.verdict == Verdict::warn) ++warn;
+    else ++fail;
+  }
+  std::ostringstream out;
+  out << pass << " pass";
+  if (warn > 0) out << ", " << warn << " warn";
+  if (fail > 0) out << ", " << fail << " fail";
+  return out.str();
+}
+
+std::pair<std::string, std::string> verdict_cells(const ExperimentReport& report, bool check) {
+  if (!report.error.empty()) return {to_string(Verdict::fail), "run failed"};
+  if (check) return {to_string(report.verdict), check_counts(report)};
+  return {"-", "-"};
+}
+
+}  // namespace
+
+HarnessSummary run_experiments(const Registry& registry, const HarnessOptions& options) {
+  if (options.scale <= 0.0 || options.scale > 1.0) {
+    throw std::invalid_argument("run_experiments: --scale must be in (0, 1]");
+  }
+
+  std::vector<const Experiment*> selected;
+  if (options.only.empty()) {
+    for (const auto& e : registry.all()) selected.push_back(&e);
+  } else {
+    for (const auto& id : options.only) {
+      const Experiment* e = registry.find(id);
+      if (e == nullptr) {
+        throw std::invalid_argument("unknown experiment id '" + id +
+                                    "' (see `wlgen experiments --list`)");
+      }
+      selected.push_back(e);
+    }
+  }
+
+  HarnessSummary summary;
+  summary.out_dir = artifact_dir(options.out_dir);
+  summary.reports.resize(selected.size());
+
+  RunContext context;
+  context.seed = options.seed;
+  context.scale = options.scale;
+
+  // Independent experiments drain over the shared worker pool; each report
+  // lands in its own slot, so the summary order is registration order no
+  // matter which thread ran what.
+  runner::drain_pool(selected.size(), options.threads, [&]() -> runner::PoolJob {
+    return [&](std::size_t index, const std::atomic<bool>&) {
+      const Experiment& experiment = *selected[index];
+      ExperimentReport& report = summary.reports[index];
+      report.id = experiment.id;
+      report.artifact = experiment.artifact.empty() ? experiment.id : experiment.artifact;
+      report.title = experiment.title;
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        report.result = experiment.run(context);
+        report.verdict = options.check
+                             ? grade(experiment.expectations, report.result, context.scale,
+                                     &report.checks)
+                             : Verdict::pass;
+      } catch (const std::exception& e) {
+        report.error = e.what();
+        report.verdict = Verdict::fail;
+      }
+      report.wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    };
+  });
+
+  for (std::size_t i = 0; i < summary.reports.size(); ++i) {
+    ExperimentReport& report = summary.reports[i];
+    if (options.write_artifacts && report.error.empty()) {
+      const std::string slug = selected[i]->artifact_slug();
+      report.json_path = write_artifact(summary.out_dir, slug + ".json",
+                                        report_json(report, options).dump());
+      if (!report.result.series.empty()) {
+        report.svg_path = write_artifact(summary.out_dir, slug + ".svg",
+                                         render_svg(*selected[i], report.result));
+      }
+    }
+    if (report.verdict == Verdict::pass) ++summary.passed;
+    else if (report.verdict == Verdict::warn) ++summary.warned;
+    else ++summary.failed;
+  }
+
+  if (options.write_artifacts) {
+    summary.experiments_md_path = write_artifact_verbatim(
+        summary.out_dir, "EXPERIMENTS.md", render_experiments_md(summary, options));
+  }
+
+  // Verdict table, registration order.  Without --check there is nothing to
+  // grade, so the verdict/check columns show "-" instead of a hollow PASS.
+  util::TextTable table({"experiment", "paper artefact", "verdict", "checks", "wall ms"});
+  for (const auto& report : summary.reports) {
+    const auto [verdict, checks] = verdict_cells(report, options.check);
+    table.add_row(
+        {report.id, report.artifact, verdict, checks, util::TextTable::num(report.wall_ms, 0)});
+  }
+  std::cout << table.render() << "\n";
+
+  for (const auto& report : summary.reports) {
+    if (!report.error.empty()) {
+      std::cout << report.id << " FAIL: " << report.error << "\n";
+      continue;
+    }
+    for (const auto& check : report.checks) {
+      if (options.verbose || check.verdict != Verdict::pass) {
+        std::cout << report.id << " " << to_string(check.verdict) << ": " << check.description
+                  << "\n";
+      }
+    }
+  }
+
+  std::cout << "\n" << summary.reports.size() << " experiments";
+  if (options.check) {
+    std::cout << ": " << summary.passed << " pass, " << summary.warned << " warn, "
+              << summary.failed << " fail";
+  } else {
+    std::cout << " run (expectations not graded; pass --check)";
+  }
+  if (!summary.experiments_md_path.empty()) {
+    std::cout << "  (artifacts in " << summary.out_dir << ", summary "
+              << summary.experiments_md_path << ")";
+  }
+  std::cout << "\n";
+  return summary;
+}
+
+std::string render_experiments_md(const HarnessSummary& summary,
+                                  const HarnessOptions& options) {
+  std::ostringstream out;
+  out << "# EXPERIMENTS — paper-expectation run\n\n";
+  out << "Generated by `wlgen experiments" << (options.check ? " --check" : "");
+  if (options.scale != 1.0) out << " --scale " << options.scale;
+  if (options.seed != 1991) out << " --seed " << options.seed;
+  out << "`: every registered figure/table experiment of Kao & Iyer (ICDCS '92), graded\n"
+         "against the paper's described curve shapes (PASS / WARN / FAIL).  WARN means\n"
+         "the shape holds but an absolute level differs from the 1992 testbed's; FAIL\n"
+         "means a shape invariant or sanity band was violated.\n\n";
+  out << "| experiment | paper artefact | title | verdict | checks | artifacts |\n";
+  out << "|---|---|---|---|---|---|\n";
+  for (const auto& report : summary.reports) {
+    const auto [verdict, checks] = verdict_cells(report, options.check);
+    out << "| " << report.id << " | " << report.artifact << " | " << report.title << " | "
+        << verdict << " | " << checks << " | ";
+    const std::string json_name =
+        report.json_path.empty() ? "" : report.json_path.substr(report.json_path.rfind('/') + 1);
+    const std::string svg_name =
+        report.svg_path.empty() ? "" : report.svg_path.substr(report.svg_path.rfind('/') + 1);
+    if (!json_name.empty()) out << "[json](" << json_name << ")";
+    if (!svg_name.empty()) out << " [svg](" << svg_name << ")";
+    out << " |\n";
+  }
+  if (options.check) {
+    out << "\n**Totals:** " << summary.passed << " pass, " << summary.warned << " warn, "
+        << summary.failed << " fail over " << summary.reports.size() << " experiments.\n";
+  } else {
+    out << "\n**Totals:** " << summary.reports.size()
+        << " experiments run; expectations not graded (pass `--check`).\n";
+  }
+
+  for (const auto& report : summary.reports) {
+    out << "\n## " << report.id << " — " << report.title << "\n\n";
+    if (!report.error.empty()) {
+      out << "**FAIL:** run threw: " << report.error << "\n";
+      continue;
+    }
+    for (const auto& check : report.checks) {
+      out << "- **" << to_string(check.verdict) << "** " << check.description << "\n";
+    }
+    if (!report.result.scalars.empty()) {
+      out << "\n| scalar | value |\n|---|---|\n";
+      for (const auto& [k, v] : report.result.scalars) {
+        out << "| " << k << " | " << util::TextTable::num(v, 4) << " |\n";
+      }
+    }
+    for (const auto& note : report.result.notes) out << "\n" << note << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace wlgen::exp

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/expectation.h"
+#include "exp/registry.h"
+
+namespace wlgen::exp {
+
+/// Options for one harness run (the `wlgen experiments` flags).
+struct HarnessOptions {
+  std::vector<std::string> only;  ///< experiment ids to run; empty = all
+  std::string out_dir;            ///< empty = $WLGEN_OUT or "artifacts"
+  bool check = true;              ///< grade expectations (off = run + artifacts only)
+  bool write_artifacts = true;    ///< emit JSON/SVG/EXPERIMENTS.md
+  double scale = 1.0;             ///< session-count scale, (0, 1]
+  std::uint64_t seed = 1991;
+  std::size_t threads = 0;        ///< worker threads (0 = hardware concurrency)
+  bool verbose = false;           ///< print every check, not just violations
+};
+
+/// One experiment's graded outcome.
+struct ExperimentReport {
+  std::string id;
+  std::string artifact;  ///< paper artefact display name
+  std::string title;
+  Verdict verdict = Verdict::pass;
+  std::vector<CheckOutcome> checks;
+  ExperimentResult result;
+  std::string json_path;  ///< empty when artifact writing failed or was off
+  std::string svg_path;
+  std::string error;  ///< non-empty = the run threw; verdict is fail
+  double wall_ms = 0.0;
+};
+
+/// Whole-run summary.
+struct HarnessSummary {
+  std::vector<ExperimentReport> reports;  ///< registration order
+  std::size_t passed = 0, warned = 0, failed = 0;
+  std::string out_dir;
+  std::string experiments_md_path;  ///< empty when not written
+
+  bool any_fail() const { return failed > 0; }
+};
+
+/// Runs the selected experiments on a worker pool (runner::drain_pool; the
+/// same pool that drains ShardedRunner shards), grades each result against
+/// its expectations, writes per-experiment JSON + SVG artifacts plus an
+/// EXPERIMENTS.md summary into the output directory, and prints a verdict
+/// table.  Deterministic: reports come back in registration order and every
+/// experiment is seeded from options.seed regardless of scheduling.
+///
+/// Throws std::invalid_argument when an `only` id is unknown.
+HarnessSummary run_experiments(const Registry& registry, const HarnessOptions& options);
+
+/// Renders the EXPERIMENTS.md summary document for a finished run.
+std::string render_experiments_md(const HarnessSummary& summary, const HarnessOptions& options);
+
+}  // namespace wlgen::exp

@@ -1,0 +1,45 @@
+#include "exp/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace wlgen::exp {
+
+std::size_t RunContext::sessions(std::size_t paper_sessions) const {
+  const double scaled = std::round(static_cast<double>(paper_sessions) * scale);
+  return std::max<std::size_t>(4, static_cast<std::size_t>(std::max(0.0, scaled)));
+}
+
+std::string Experiment::artifact_slug() const {
+  return util::slugify(artifact.empty() ? id : artifact);
+}
+
+void Registry::add(Experiment experiment) {
+  if (experiment.id.empty()) throw std::invalid_argument("Registry::add: empty id");
+  if (!experiment.run) {
+    throw std::invalid_argument("Registry::add: experiment '" + experiment.id +
+                                "' has no run function");
+  }
+  if (find(experiment.id) != nullptr) {
+    throw std::invalid_argument("Registry::add: duplicate experiment id '" + experiment.id +
+                                "'");
+  }
+  experiments_.push_back(std::move(experiment));
+}
+
+const Experiment* Registry::find(const std::string& id) const {
+  for (const auto& e : experiments_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace wlgen::exp

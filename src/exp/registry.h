@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/expectation.h"
+#include "exp/result.h"
+
+namespace wlgen::exp {
+
+/// Session-count profile handed to every experiment.  `scale == 1` is the
+/// paper profile; smaller values shrink every session count proportionally
+/// (CI runs a reduced profile) and mark the run so the expectation checker
+/// demotes absolute-level failures to warnings.
+struct RunContext {
+  std::uint64_t seed = 1991;  ///< base seed; experiments add their own offsets
+  double scale = 1.0;         ///< session-count multiplier in (0, 1]
+
+  /// Scales a paper session count, never below 4 (per-session statistics
+  /// need a handful of sessions to mean anything).
+  std::size_t sessions(std::size_t paper_sessions) const;
+
+  bool reduced() const { return scale < 1.0; }
+};
+
+/// One registered paper experiment: identity, the paper artefact it
+/// reproduces, the declarative expectations, and the run function.
+struct Experiment {
+  std::string id;        ///< registry key, e.g. "fig5_6" (also `--only` target)
+  std::string artifact;  ///< paper artefact name, e.g. "Figure 5.6"; empty = id
+  std::string title;
+  std::string paper_claim;  ///< the published curve shape, for reports
+  std::vector<Expectation> expectations;
+  std::function<ExperimentResult(const RunContext&)> run;
+
+  /// Slugified artifact base name: "Figure 5.6" -> "figure_5_6".
+  std::string artifact_slug() const;
+};
+
+/// Ordered collection of experiments.  The global instance is what
+/// `wlgen experiments` runs; tests build private registries.
+class Registry {
+ public:
+  /// Adds an experiment; throws std::invalid_argument on a duplicate id or a
+  /// missing run function.
+  void add(Experiment experiment);
+
+  /// Lookup by id; nullptr when unknown.
+  const Experiment* find(const std::string& id) const;
+
+  /// All experiments in registration order.
+  const std::vector<Experiment>& all() const { return experiments_; }
+
+  std::size_t size() const { return experiments_.size(); }
+
+  /// The process-wide registry the CLI uses.
+  static Registry& global();
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+}  // namespace wlgen::exp

@@ -1,0 +1,129 @@
+#include "exp/result.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "stats/smoothing.h"
+
+namespace wlgen::exp {
+
+namespace {
+
+/// Non-finite numbers serialize as JSON null (JSON has no NaN literal);
+/// map them back so dump -> parse -> dump is the identity.
+double number_or_nan(const util::JsonValue& v) {
+  return v.is_null() ? std::numeric_limits<double>::quiet_NaN() : v.as_number();
+}
+
+}  // namespace
+
+ResultSeries& ExperimentResult::add_series(const std::string& name, std::vector<double> xs,
+                                           std::vector<double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("ExperimentResult::add_series: xs/ys size mismatch for '" +
+                                name + "'");
+  }
+  for (auto& s : series) {
+    if (s.name == name) {
+      s.xs = std::move(xs);
+      s.ys = std::move(ys);
+      return s;
+    }
+  }
+  series.push_back(ResultSeries{name, std::move(xs), std::move(ys), {}});
+  return series.back();
+}
+
+void ExperimentResult::set_scalar(const std::string& name, double value) {
+  for (auto& [k, v] : scalars) {
+    if (k == name) {
+      v = value;
+      return;
+    }
+  }
+  scalars.emplace_back(name, value);
+}
+
+const ResultSeries* ExperimentResult::find_series(const std::string& name) const {
+  for (const auto& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const double* ExperimentResult::find_scalar(const std::string& name) const {
+  for (const auto& [k, v] : scalars) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+util::JsonValue ExperimentResult::to_json() const {
+  using util::JsonValue;
+  JsonValue doc = JsonValue::make_object();
+  doc.set("x_label", x_label);
+  doc.set("y_label", y_label);
+
+  JsonValue series_json = JsonValue::make_array();
+  for (const auto& s : series) {
+    JsonValue one = JsonValue::make_object();
+    one.set("name", s.name);
+    if (!s.color.empty()) one.set("color", s.color);
+    JsonValue xs = JsonValue::make_array();
+    for (const double x : s.xs) xs.push_back(x);
+    JsonValue ys = JsonValue::make_array();
+    for (const double y : s.ys) ys.push_back(y);
+    one.set("xs", std::move(xs));
+    one.set("ys", std::move(ys));
+    series_json.push_back(std::move(one));
+  }
+  doc.set("series", std::move(series_json));
+
+  JsonValue scalars_json = JsonValue::make_object();
+  for (const auto& [k, v] : scalars) scalars_json.set(k, v);
+  doc.set("scalars", std::move(scalars_json));
+
+  JsonValue notes_json = JsonValue::make_array();
+  for (const auto& n : notes) notes_json.push_back(n);
+  doc.set("notes", std::move(notes_json));
+  return doc;
+}
+
+ExperimentResult ExperimentResult::from_json(const util::JsonValue& doc) {
+  ExperimentResult out;
+  out.x_label = doc.at("x_label").as_string();
+  out.y_label = doc.at("y_label").as_string();
+  for (const auto& one : doc.at("series").as_array()) {
+    ResultSeries s;
+    s.name = one.at("name").as_string();
+    if (const auto* color = one.find("color")) s.color = color->as_string();
+    for (const auto& x : one.at("xs").as_array()) s.xs.push_back(number_or_nan(x));
+    for (const auto& y : one.at("ys").as_array()) s.ys.push_back(number_or_nan(y));
+    if (s.xs.size() != s.ys.size()) {
+      throw std::runtime_error("ExperimentResult::from_json: xs/ys size mismatch for '" +
+                               s.name + "'");
+    }
+    out.series.push_back(std::move(s));
+  }
+  for (const auto& [k, v] : doc.at("scalars").as_object()) {
+    out.scalars.emplace_back(k, number_or_nan(v));
+  }
+  for (const auto& n : doc.at("notes").as_array()) out.notes.push_back(n.as_string());
+  return out;
+}
+
+void add_histogram_series(ExperimentResult& result, const stats::Histogram& histogram,
+                          std::size_t smooth_window) {
+  const std::vector<double> centers = histogram.centers();
+  result.add_series("before smoothing", centers, histogram.counts()).color = "#9ecae1";
+  const stats::Histogram smoothed = stats::smooth_histogram(
+      histogram, stats::SmoothingKind::moving_average, static_cast<double>(smooth_window));
+  result.add_series("after smoothing", centers, smoothed.counts()).color = "#d62728";
+
+  double before = 0.0, after = 0.0;
+  for (const double c : histogram.counts()) before += c;
+  for (const double c : smoothed.counts()) after += c;
+  result.set_scalar("smoothed_mass_ratio", before > 0.0 ? after / before : 1.0);
+}
+
+}  // namespace wlgen::exp

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "util/json.h"
+
+namespace wlgen::exp {
+
+/// One named curve of an experiment: the (x, y) points of a paper figure
+/// series or a table column plotted against its row index.
+struct ResultSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::string color;  ///< SVG hint; empty = harness palette
+};
+
+/// Structured outcome of one experiment run: ordered named series plus
+/// ordered named scalars — everything the expectation checker grades and the
+/// artifact writer serializes.  Insertion order is preserved end to end so
+/// emitted JSON is byte-stable (the determinism test relies on it).
+struct ExperimentResult {
+  std::vector<ResultSeries> series;
+  std::vector<std::pair<std::string, double>> scalars;
+  std::string x_label;
+  std::string y_label;
+  std::vector<std::string> notes;  ///< human commentary, carried into reports
+
+  /// Appends (or overwrites) one series / scalar.
+  ResultSeries& add_series(const std::string& name, std::vector<double> xs,
+                           std::vector<double> ys);
+  void set_scalar(const std::string& name, double value);
+
+  /// Lookup; nullptr when absent.
+  const ResultSeries* find_series(const std::string& name) const;
+  const double* find_scalar(const std::string& name) const;
+
+  /// JSON round-trip.  from_json throws std::runtime_error on malformed or
+  /// schema-violating documents.
+  util::JsonValue to_json() const;
+  static ExperimentResult from_json(const util::JsonValue& doc);
+};
+
+/// Builds the Figures 5.3–5.5 style series pair from a histogram: counts at
+/// bin centres "before", plus a moving-average-smoothed "after" (odd window).
+void add_histogram_series(ExperimentResult& result, const stats::Histogram& histogram,
+                          std::size_t smooth_window = 3);
+
+}  // namespace wlgen::exp

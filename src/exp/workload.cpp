@@ -1,14 +1,18 @@
-#include "common/experiment.h"
+#include "exp/workload.h"
 
-#include <cstdlib>
-#include <iostream>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
 
+#include "fs/filesystem.h"
 #include "fsmodel/local_model.h"
 #include "fsmodel/nfs_model.h"
 #include "fsmodel/wholefile_model.h"
-#include "util/svg.h"
+#include "sim/simulation.h"
 
-namespace wlgen::bench {
+namespace wlgen::exp {
 
 namespace {
 
@@ -23,7 +27,7 @@ std::unique_ptr<fsmodel::FileSystemModel> make_model(ModelKind kind, sim::Simula
 
 }  // namespace
 
-ExperimentOutput run_experiment(const ExperimentConfig& config) {
+WorkloadOutput run_workload(const WorkloadConfig& config) {
   sim::Simulation simulation;
   fs::SimulatedFileSystem fsys;
   fsys.set_clock([&simulation] { return simulation.now(); });
@@ -48,7 +52,7 @@ ExperimentOutput run_experiment(const ExperimentConfig& config) {
   usim.run();
 
   const core::UsageAnalyzer analyzer(usim.log());
-  ExperimentOutput out;
+  WorkloadOutput out;
   out.response_per_byte_us = analyzer.response_per_byte_us();
   out.access_size = analyzer.access_size_stats();
   out.response_us = analyzer.response_stats();
@@ -67,35 +71,54 @@ std::vector<double> response_per_byte_sweep(const core::Population& population,
                                             std::uint64_t seed, ModelKind model) {
   std::vector<double> out;
   for (std::size_t users = 1; users <= max_users; ++users) {
-    ExperimentConfig config;
+    WorkloadConfig config;
     config.num_users = users;
     config.sessions_per_user = sessions;
     config.seed = seed + users;
     config.model = model;
     config.population = population;
     config.usim.collect_log = true;
-    out.push_back(run_experiment(config).response_per_byte_us);
+    out.push_back(run_workload(config).response_per_byte_us);
   }
   return out;
 }
 
-std::string write_artifact(const std::string& name, const std::string& content) {
-  const char* dir = std::getenv("WLGEN_OUT");
-  const std::string base = dir != nullptr ? dir : "artifacts";
-  const std::string path = base + "/" + name;
-  try {
-    util::write_text_file(path, content);
-  } catch (const std::exception&) {
-    return {};
+const WorkloadOutput& characterisation_run(std::size_t sessions, std::uint64_t seed) {
+  // Figures 5.3-5.5 and the smoothing ablation all project this one run;
+  // memoise it per (sessions, seed) so the harness simulates it once.  The
+  // mutex guards only the future map: the first requester of a key computes
+  // outside the lock, later same-key requesters block on the shared future,
+  // and different keys proceed in parallel.
+  using Output = std::shared_ptr<const WorkloadOutput>;
+  static std::mutex mutex;
+  static std::map<std::pair<std::size_t, std::uint64_t>, std::shared_future<Output>> cache;
+
+  std::promise<Output> promise;
+  std::shared_future<Output> future;
+  bool compute = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    auto [it, inserted] = cache.try_emplace(std::make_pair(sessions, seed));
+    if (inserted) {
+      it->second = promise.get_future().share();
+      compute = true;
+    }
+    future = it->second;
   }
-  return path;
+  if (compute) {
+    try {
+      WorkloadConfig config;
+      config.num_users = 1;
+      config.sessions_per_user = sessions;
+      config.seed = seed;
+      promise.set_value(std::make_shared<const WorkloadOutput>(run_workload(config)));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  // The shared_ptr lives in the cached future for the process lifetime, so
+  // the reference stays valid; a failed compute rethrows for every waiter.
+  return *future.get();
 }
 
-void print_header(const std::string& artefact, const std::string& paper_summary) {
-  std::cout << "==========================================================================\n";
-  std::cout << artefact << "\n";
-  std::cout << "Paper reference: " << paper_summary << "\n";
-  std::cout << "==========================================================================\n\n";
-}
-
-}  // namespace wlgen::bench
+}  // namespace wlgen::exp

@@ -2,7 +2,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -10,19 +10,18 @@
 #include "core/fsc.h"
 #include "core/presets.h"
 #include "core/usim.h"
-#include "fs/filesystem.h"
 #include "fsmodel/model.h"
-#include "sim/simulation.h"
 
-namespace wlgen::bench {
+namespace wlgen::exp {
 
-/// Which performance model an experiment runs against.
+/// Which performance model a workload runs against.
 enum class ModelKind { nfs, local, wholefile };
 
-/// One full paper-style experiment: FSC builds the file system, USIM runs the
-/// population, the analyzer digests the log.  Every bench binary goes through
-/// this harness so experiments stay comparable.
-struct ExperimentConfig {
+/// One full paper-style workload: FSC builds the file system, USIM runs the
+/// population, the analyzer digests the log.  Every registered experiment
+/// goes through this so results stay comparable (formerly
+/// bench/common/experiment.h).
+struct WorkloadConfig {
   std::size_t num_users = 1;
   std::size_t sessions_per_user = 50;  ///< paper: "mean value during 50 login sessions"
   std::uint64_t seed = 1991;
@@ -32,8 +31,8 @@ struct ExperimentConfig {
   std::function<void(fsmodel::FileSystemModel&)> tune_model;  ///< optional
 };
 
-/// Everything a bench needs to print a paper artefact.
-struct ExperimentOutput {
+/// Everything an experiment needs to build its figure/table series.
+struct WorkloadOutput {
   double response_per_byte_us = 0.0;
   stats::RunningSummary access_size;
   stats::RunningSummary response_us;
@@ -46,22 +45,19 @@ struct ExperimentOutput {
   core::UsageLog log;  ///< full log (for figure histograms)
 };
 
-/// Runs one experiment to completion.
-ExperimentOutput run_experiment(const ExperimentConfig& config);
+/// Runs one workload to completion.
+WorkloadOutput run_workload(const WorkloadConfig& config);
 
-/// The paper's Figures 5.6–5.11 sweep: response time per byte for 1..max_users
-/// simultaneous users of the given population.
+/// The paper's Figures 5.6–5.11 sweep: response time per byte for
+/// 1..max_users simultaneous users of the given population.
 std::vector<double> response_per_byte_sweep(const core::Population& population,
                                             std::size_t max_users, std::size_t sessions,
                                             std::uint64_t seed = 1991,
                                             ModelKind model = ModelKind::nfs);
 
-/// Writes an SVG artefact under $WLGEN_OUT (or ./artifacts) and returns the
-/// path, or an empty string when writing fails (benches must not die on a
-/// read-only filesystem).
-std::string write_artifact(const std::string& name, const std::string& content);
+/// The paper's section-5.1 characterisation workload (600 login sessions at
+/// full scale); Figures 5.3–5.5 are different projections of one run, so the
+/// result is memoised per (sessions, seed) — safe under the parallel harness.
+const WorkloadOutput& characterisation_run(std::size_t sessions, std::uint64_t seed);
 
-/// Prints the standard bench header with the paper reference.
-void print_header(const std::string& artefact, const std::string& paper_summary);
-
-}  // namespace wlgen::bench
+}  // namespace wlgen::exp

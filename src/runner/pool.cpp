@@ -1,0 +1,69 @@
+#include "runner/pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wlgen::runner {
+
+std::size_t resolve_pool_threads(std::size_t requested, std::size_t jobs) {
+  std::size_t threads = requested;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  threads = std::min(threads, jobs);
+  return std::max<std::size_t>(threads, 1);
+}
+
+void drain_pool(std::size_t count, std::size_t threads, const PoolWorkerFactory& make_worker) {
+  if (count == 0) return;
+  threads = resolve_pool_threads(threads, count);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    // The factory itself may throw (e.g. worker-state allocation failure);
+    // that must cancel the run and rethrow on the caller, not escape the
+    // thread entry function into std::terminate.
+    PoolJob job;
+    try {
+      job = make_worker();
+    } catch (...) {
+      cancelled.store(true, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      return;
+    }
+    while (true) {
+      if (cancelled.load(std::memory_order_relaxed)) return;
+      const std::size_t index = next.fetch_add(1);
+      if (index >= count) return;
+      try {
+        job(index, cancelled);
+      } catch (...) {
+        cancelled.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace wlgen::runner

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+namespace wlgen::runner {
+
+/// Executes one job index.  The `cancelled` flag flips when another worker
+/// has thrown; long-running jobs should poll it at natural checkpoints
+/// (ShardedRunner checks between users) and return early.
+using PoolJob = std::function<void(std::size_t index, const std::atomic<bool>& cancelled)>;
+
+/// Invoked once per worker thread before it starts draining jobs; returns
+/// that worker's job function.  Worker-local state (a warm sim::Simulation,
+/// scratch buffers) lives in the returned closure, so it is built once per
+/// thread instead of once per job.
+using PoolWorkerFactory = std::function<PoolJob()>;
+
+/// Resolves a thread-count request: 0 means hardware concurrency, and the
+/// result is clamped to [1, jobs].
+std::size_t resolve_pool_threads(std::size_t requested, std::size_t jobs);
+
+/// Drains jobs 0..count-1 over up to `threads` worker threads (0 = hardware
+/// concurrency).  Jobs are claimed from a shared atomic counter, so ordering
+/// is nondeterministic — results must be written to per-index slots and
+/// folded by the caller in a fixed order (the ShardedRunner merge contract).
+/// The first exception cancels the remaining jobs and is rethrown on the
+/// calling thread after every worker has joined.  `threads == 1` (or a
+/// single job) runs inline with no thread spawned.
+///
+/// This is the worker pool behind both runner::ShardedRunner (shards as
+/// jobs) and exp::run_experiments (experiments as jobs).
+void drain_pool(std::size_t count, std::size_t threads, const PoolWorkerFactory& make_worker);
+
+}  // namespace wlgen::runner

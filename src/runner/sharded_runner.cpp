@@ -1,12 +1,9 @@
 #include "runner/sharded_runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <exception>
-#include <mutex>
+#include <memory>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "core/presets.h"
@@ -14,6 +11,7 @@
 #include "fsmodel/local_model.h"
 #include "fsmodel/nfs_model.h"
 #include "fsmodel/wholefile_model.h"
+#include "runner/pool.h"
 
 namespace wlgen::runner {
 
@@ -115,61 +113,29 @@ RunnerResult ShardedRunner::run() {
     reports[s].range = ranges[s];
   }
 
-  std::size_t threads = config_.threads;
-  if (threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw == 0 ? 1 : hw;
-  }
-  threads = std::min(threads, ranges.size());
-  if (threads == 0) threads = 1;
-
-  // Workers drain the shard queue; each owns one Simulation whose clock and
-  // event arena are reset between users, so the arena's allocation ramp-up
-  // is paid once per worker, not once per user.
-  std::atomic<std::size_t> next_shard{0};
-  std::atomic<bool> aborted{false};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
-  const auto worker = [&] {
-    sim::Simulation sim;
-    while (true) {
-      // A failure in any worker cancels the remaining shards — a 1M-user
-      // run must not keep simulating for minutes after the error is known.
-      if (aborted.load(std::memory_order_relaxed)) return;
-      const std::size_t s = next_shard.fetch_add(1);
-      if (s >= ranges.size()) return;
+  // Workers drain the shard queue (runner::drain_pool); each owns one
+  // Simulation whose clock and event arena are reset between users, so the
+  // arena's allocation ramp-up is paid once per worker, not once per user.
+  // A failure in any worker cancels the remaining shards — a 1M-user run
+  // must not keep simulating for minutes after the error is known — and the
+  // cancellation flag is also polled between users inside a shard.
+  drain_pool(ranges.size(), config_.threads, [&]() -> PoolJob {
+    auto sim = std::make_shared<sim::Simulation>();
+    return [&, sim](std::size_t s, const std::atomic<bool>& cancelled) {
       const auto shard_start = std::chrono::steady_clock::now();
       std::uint64_t events = 0;
       std::uint64_t ops = 0;
-      try {
-        for (std::size_t u = ranges[s].begin; u < ranges[s].end; ++u) {
-          if (aborted.load(std::memory_order_relaxed)) return;
-          run_user(sim, u, outcomes[u]);
-          events += outcomes[u].events;
-          ops += outcomes[u].ops;
-        }
-      } catch (...) {
-        aborted.store(true, std::memory_order_relaxed);
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
+      for (std::size_t u = ranges[s].begin; u < ranges[s].end; ++u) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        run_user(*sim, u, outcomes[u]);
+        events += outcomes[u].events;
+        ops += outcomes[u].ops;
       }
       reports[s].wall_ms = elapsed_ms(shard_start);
       reports[s].events = events;
       reports[s].ops = ops;
-    }
-  };
-
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
+    };
+  });
 
   // Deterministic fold: ascending global user order, independent of which
   // shard or thread produced each slot.

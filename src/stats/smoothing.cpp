@@ -8,7 +8,10 @@ namespace wlgen::stats {
 
 std::vector<double> moving_average(const std::vector<double>& values, std::size_t window) {
   if (window == 0) throw std::invalid_argument("moving_average: window must be >= 1");
-  if (window % 2 == 0) ++window;
+  if (window % 2 == 0) {
+    throw std::invalid_argument("moving_average: window must be odd (got " +
+                                std::to_string(window) + "); a centred window has no even form");
+  }
   const std::size_t half = window / 2;
   std::vector<double> out(values.size(), 0.0);
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -53,9 +56,18 @@ std::vector<double> gaussian_smooth(const std::vector<double>& values, double si
 Histogram smooth_histogram(const Histogram& h, SmoothingKind kind, double parameter) {
   std::vector<double> smoothed;
   switch (kind) {
-    case SmoothingKind::moving_average:
-      smoothed = moving_average(h.counts(), static_cast<std::size_t>(std::max(1.0, parameter)));
+    case SmoothingKind::moving_average: {
+      // The parameter is a bin count: reject fractional windows instead of
+      // truncating them (3.7 used to become 3 silently).
+      const double rounded = std::round(parameter);
+      if (parameter < 1.0 || rounded != parameter) {
+        throw std::invalid_argument(
+            "smooth_histogram: moving-average window must be an odd integer >= 1 (got " +
+            std::to_string(parameter) + ")");
+      }
+      smoothed = moving_average(h.counts(), static_cast<std::size_t>(rounded));
       break;
+    }
     case SmoothingKind::gaussian:
       smoothed = gaussian_smooth(h.counts(), parameter);
       break;

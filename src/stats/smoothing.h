@@ -7,11 +7,17 @@
 
 namespace wlgen::stats {
 
-/// Centred moving average with the given (odd) window; edges use a shrunken
-/// window.  This is the "after smoothing" transform of paper Figures 5.3–5.5.
+/// Centred moving average; edges use a shrunken window so no mass leaks off
+/// the ends.  This is the "after smoothing" transform of paper Figures
+/// 5.3–5.5.  The window must be an odd integer >= 1 (a centred window has no
+/// meaning for even sizes); throws std::invalid_argument otherwise — it used
+/// to round even windows up silently, which made `window` lie about the
+/// kernel actually applied.
 std::vector<double> moving_average(const std::vector<double>& values, std::size_t window);
 
-/// Discrete Gaussian kernel smoothing with the given bandwidth in bins.
+/// Discrete Gaussian kernel smoothing with the given bandwidth in bins
+/// (sigma_bins > 0; the kernel is renormalised at the edges so total mass is
+/// preserved).
 std::vector<double> gaussian_smooth(const std::vector<double>& values, double sigma_bins);
 
 /// How histogram smoothing should be performed.
@@ -19,6 +25,11 @@ enum class SmoothingKind { moving_average, gaussian };
 
 /// Returns a copy of the histogram with smoothed counts; total mass is
 /// renormalised to the original count so "count" axes remain comparable.
+///
+/// Parameter contract: for moving_average it is the window in bins and must
+/// be an odd integer >= 1 (fractional windows used to be truncated silently;
+/// now they throw std::invalid_argument).  For gaussian it is the bandwidth
+/// sigma in bins, any value > 0.
 Histogram smooth_histogram(const Histogram& h, SmoothingKind kind, double parameter);
 
 }  // namespace wlgen::stats

@@ -9,12 +9,19 @@
 //             [--shards K] [--threads T] [--verify-merge]
 //   wlgen analyze <log.tsv>
 //   wlgen replay <log.tsv> [--model ...] [--closed-loop] [--scale X]
+//   wlgen experiments [--only id[,id...]] [--check] [--list] [--out DIR]
+//                     [--scale F] [--seed S] [--threads N] [--verbose]
 //
 // --shards routes the run through runner::ShardedRunner (independent user
 // universes, merged deterministically — see DESIGN.md "Sharded runner");
 // without it the classic shared-machine single-Simulation path runs.
 //
-// Exit status: 0 on success, 1 on bad usage or I/O failure.
+// `experiments` runs the registered paper figure/table experiments on the
+// exp:: harness (DESIGN.md "Experiment harness"), writing JSON/SVG artifacts
+// plus EXPERIMENTS.md into --out (default $WLGEN_OUT or ./artifacts).
+//
+// Exit status: 0 on success, 1 on bad usage or I/O failure; `experiments
+// --check` also exits 1 when any experiment's verdict is FAIL.
 
 #include <iostream>
 #include <map>
@@ -29,6 +36,8 @@
 #include "core/replay.h"
 #include "core/spec.h"
 #include "core/usim.h"
+#include "exp/harness.h"
+#include "experiments.h"
 #include "runner/sharded_runner.h"
 #include "util/ascii_plot.h"
 #include "util/strings.h"
@@ -85,7 +94,9 @@ int usage() {
       "            [--windows W] [--spec FILE] [--log OUT.tsv]\n"
       "            [--shards K] [--threads T] [--verify-merge]\n"
       "  wlgen analyze <log.tsv>\n"
-      "  wlgen replay <log.tsv> [--model M] [--closed-loop] [--scale X]\n";
+      "  wlgen replay <log.tsv> [--model M] [--closed-loop] [--scale X]\n"
+      "  wlgen experiments [--only id[,id...]] [--check] [--list] [--out DIR]\n"
+      "                    [--scale F] [--seed S] [--threads N] [--verbose]\n";
   return 1;
 }
 
@@ -259,6 +270,38 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+/// The paper-expectation harness: runs the 23 registered figure/table
+/// experiments, grades them PASS/WARN/FAIL, and writes the artifact set.
+int cmd_experiments(const Args& args) {
+  exp::Registry& registry = exp::Registry::global();
+  if (registry.size() == 0) bench::register_all_experiments(registry);
+
+  if (args.boolean("list")) {
+    util::TextTable table({"id", "paper artefact", "title"});
+    for (const auto& e : registry.all()) {
+      table.add_row({e.id, e.artifact.empty() ? e.id : e.artifact, e.title});
+    }
+    std::cout << table.render();
+    return 0;
+  }
+
+  exp::HarnessOptions options;
+  options.check = args.boolean("check");
+  if (args.flags.count("only")) {
+    for (const auto& id : util::split(args.get("only", ""), ',')) {
+      if (!id.empty()) options.only.push_back(id);
+    }
+  }
+  options.out_dir = args.get("out", "");
+  options.scale = args.number("scale", 1.0);
+  options.seed = static_cast<std::uint64_t>(args.number("seed", 1991));
+  options.threads = static_cast<std::size_t>(args.number("threads", 0));
+  options.verbose = args.boolean("verbose");
+
+  const exp::HarnessSummary summary = exp::run_experiments(registry, options);
+  return args.boolean("check") && summary.any_fail() ? 1 : 0;
+}
+
 int cmd_analyze(const Args& args) {
   if (args.positional.empty()) return usage();
   const core::UsageLog log = core::UsageLog::parse(util::read_text_file(args.positional[0]));
@@ -296,6 +339,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "replay") return cmd_replay(args);
+    if (command == "experiments") return cmd_experiments(args);
   } catch (const std::exception& e) {
     std::cerr << "wlgen " << command << ": " << e.what() << "\n";
     return 1;

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wlgen::util {
+
+/// Minimal JSON document model for the experiment-harness artifacts: null,
+/// bool, number (double), string, array, object.  Objects preserve insertion
+/// order so serialized artifacts are byte-stable across runs — the
+/// determinism tests diff the emitted text directly.
+class JsonValue {
+ public:
+  enum class Kind { null, boolean, number, string, array, object };
+
+  JsonValue() = default;
+  JsonValue(bool b) : kind_(Kind::boolean), bool_(b) {}
+  JsonValue(double n) : kind_(Kind::number), number_(n) {}
+  JsonValue(int n) : kind_(Kind::number), number_(n) {}
+  JsonValue(std::size_t n) : kind_(Kind::number), number_(static_cast<double>(n)) {}
+  JsonValue(const char* s) : kind_(Kind::string), string_(s) {}
+  JsonValue(std::string s) : kind_(Kind::string), string_(std::move(s)) {}
+
+  static JsonValue make_array();
+  static JsonValue make_object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::null; }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
+
+  /// Array append (value must be an array).
+  void push_back(JsonValue v);
+
+  /// Object insert/overwrite, preserving first-insertion order.
+  void set(const std::string& key, JsonValue v);
+
+  /// Object lookup; returns nullptr when absent (value must be an object).
+  const JsonValue* find(const std::string& key) const;
+
+  /// Object lookup; throws std::runtime_error when the key is absent.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Serializes with 2-space indentation and a trailing newline at depth 0.
+  /// JSON has no NaN/Inf literal, so non-finite numbers serialize as null;
+  /// readers that can tolerate them map null back to NaN (see
+  /// ExperimentResult::from_json).
+  std::string dump() const;
+
+ private:
+  void dump_to(std::string& out, int indent) const;
+
+  Kind kind_ = Kind::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses a JSON document; throws std::runtime_error with an offset on
+/// malformed input.  Accepts exactly the subset dump() produces (standard
+/// JSON without exponent-free restrictions; numbers parse as double).
+JsonValue parse_json(std::string_view text);
+
+}  // namespace wlgen::util

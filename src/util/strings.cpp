@@ -80,4 +80,34 @@ std::string join(const std::vector<std::string>& pieces, std::string_view sep) {
   return out;
 }
 
+std::string slugify(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_sep = false;
+  for (const char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      if (pending_sep && !out.empty()) out += '_';
+      pending_sep = false;
+      out += static_cast<char>(std::tolower(c));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return out.empty() ? "artifact" : out;
+}
+
+std::string slugify_filename(std::string_view name) {
+  const std::size_t dot = name.rfind('.');
+  if (dot != std::string_view::npos && dot + 1 < name.size()) {
+    const std::string_view ext = name.substr(dot + 1);
+    const bool alnum_ext = ext.size() <= 5 &&
+                           std::all_of(ext.begin(), ext.end(), [](unsigned char c) {
+                             return std::isalnum(c) != 0;
+                           });
+    if (alnum_ext) return slugify(name.substr(0, dot)) + "." + to_lower(ext);
+  }
+  return slugify(name);
+}
+
 }  // namespace wlgen::util

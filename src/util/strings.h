@@ -32,4 +32,13 @@ std::string to_lower(std::string_view text);
 /// Joins pieces with a separator.
 std::string join(const std::vector<std::string>& pieces, std::string_view sep);
 
+/// Lowercases ASCII alphanumerics and collapses every other run of
+/// characters into a single underscore ("Figure 5.6" -> "figure_5_6").
+/// Leading/trailing separators are trimmed; empty input yields "artifact".
+std::string slugify(std::string_view text);
+
+/// Slugifies a file name while preserving a short alphanumeric extension:
+/// "Figure 5.6.svg" -> "figure_5_6.svg".
+std::string slugify_filename(std::string_view name);
+
 }  // namespace wlgen::util

@@ -1,0 +1,258 @@
+// Unit tests for src/exp: experiment registry, expectation-check verdicts,
+// ExperimentResult JSON round-trip, artifact writing (directory creation +
+// slugified names), and determinism of a real registered experiment.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "exp/artifacts.h"
+#include "exp/expectation.h"
+#include "exp/harness.h"
+#include "exp/registry.h"
+#include "exp/result.h"
+#include "experiments.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace wlgen::exp {
+namespace {
+
+Experiment tiny_experiment(const std::string& id, double final_value) {
+  Experiment e;
+  e.id = id;
+  e.title = "tiny";
+  e.run = [final_value](const RunContext&) {
+    ExperimentResult r;
+    r.add_series("curve", {1.0, 2.0, 3.0}, {1.0, 2.0, final_value});
+    r.set_scalar("final", final_value);
+    return r;
+  };
+  return e;
+}
+
+TEST(Registry, LookupFindsRegisteredExperimentsAndRejectsDuplicates) {
+  Registry registry;
+  registry.add(tiny_experiment("a", 3.0));
+  registry.add(tiny_experiment("b", 4.0));
+  ASSERT_NE(registry.find("a"), nullptr);
+  EXPECT_EQ(registry.find("a")->id, "a");
+  EXPECT_EQ(registry.find("missing"), nullptr);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_THROW(registry.add(tiny_experiment("a", 5.0)), std::invalid_argument);
+  Experiment no_run;
+  no_run.id = "no_run";
+  EXPECT_THROW(registry.add(std::move(no_run)), std::invalid_argument);
+}
+
+TEST(Registry, AllTwentyThreePaperExperimentsRegister) {
+  Registry registry;
+  bench::register_all_experiments(registry);
+  EXPECT_EQ(registry.size(), 23u);
+  for (const char* id : {"fig5_1", "fig5_6", "fig5_12", "table5_1", "table5_4",
+                         "ablation_cache", "baseline_bench", "compare_fs"}) {
+    EXPECT_NE(registry.find(id), nullptr) << id;
+  }
+  EXPECT_EQ(registry.find("fig5_6")->artifact_slug(), "figure_5_6");
+  EXPECT_EQ(registry.find("ablation_cache")->artifact_slug(), "ablation_cache");
+}
+
+TEST(Expectation, MonotonicUpPassesOnRisingSeriesAndFailsOnFallingOne) {
+  ExperimentResult rising;
+  rising.add_series("curve", {1, 2, 3, 4}, {1.0, 2.0, 3.0, 4.0});
+  const CheckOutcome good = check_expectation(
+      expect_monotonic_up("curve", 0.0, Verdict::fail, "rises"), rising, 1.0);
+  EXPECT_EQ(good.verdict, Verdict::pass);
+
+  ExperimentResult falling;
+  falling.add_series("curve", {1, 2, 3, 4}, {4.0, 3.0, 5.0, 1.0});
+  const CheckOutcome bad = check_expectation(
+      expect_monotonic_up("curve", 0.0, Verdict::fail, "rises"), falling, 1.0);
+  EXPECT_EQ(bad.verdict, Verdict::fail);
+}
+
+TEST(Expectation, MonotonicToleranceForgivesSmallCounterSteps) {
+  ExperimentResult noisy;
+  // One 0.1 dip against a range of 3.0: within a 0.05 (= 0.15) slack.
+  noisy.add_series("curve", {1, 2, 3, 4}, {1.0, 2.0, 1.9, 4.0});
+  EXPECT_EQ(check_expectation(expect_monotonic_up("curve", 0.05, Verdict::fail, ""), noisy,
+                              1.0)
+                .verdict,
+            Verdict::pass);
+  EXPECT_EQ(check_expectation(expect_monotonic_up("curve", 0.0, Verdict::fail, ""), noisy,
+                              1.0)
+                .verdict,
+            Verdict::fail);
+}
+
+TEST(Expectation, RangeChecksGradeScalarsAndFinalValues) {
+  ExperimentResult r;
+  r.add_series("curve", {1, 2, 3}, {1.0, 2.0, 12.0});
+  r.set_scalar("growth", 12.0);
+  EXPECT_EQ(check_expectation(expect_final_in_range("curve", 10, 15, Verdict::warn, ""), r,
+                              1.0)
+                .verdict,
+            Verdict::pass);
+  EXPECT_EQ(check_expectation(expect_final_in_range("curve", 13, 15, Verdict::warn, ""), r,
+                              1.0)
+                .verdict,
+            Verdict::warn);
+  EXPECT_EQ(check_expectation(expect_scalar_in_range("growth", 0, 5, Verdict::fail, ""), r,
+                              1.0)
+                .verdict,
+            Verdict::fail);
+  // A missing target is always a hard fail, even for warn-severity checks.
+  EXPECT_EQ(check_expectation(expect_scalar_in_range("absent", 0, 5, Verdict::warn, ""), r,
+                              1.0)
+                .verdict,
+            Verdict::fail);
+}
+
+TEST(Expectation, ReducedProfileDemotesRangeFailuresButNotShapeFailures) {
+  ExperimentResult r;
+  r.add_series("curve", {1, 2, 3}, {3.0, 2.0, 1.0});
+  r.set_scalar("level", 100.0);
+  // Absolute level out of band: fail at paper scale, warn at reduced scale.
+  const Expectation range = expect_scalar_in_range("level", 0, 10, Verdict::fail, "");
+  EXPECT_EQ(check_expectation(range, r, 1.0).verdict, Verdict::fail);
+  EXPECT_EQ(check_expectation(range, r, 0.25).verdict, Verdict::warn);
+  // Shape invariants stay hard regardless of profile.
+  const Expectation shape = expect_monotonic_up("curve", 0.0, Verdict::fail, "");
+  EXPECT_EQ(check_expectation(shape, r, 0.25).verdict, Verdict::fail);
+}
+
+TEST(Expectation, GradeReturnsWorstVerdict) {
+  ExperimentResult r;
+  r.add_series("curve", {1, 2, 3}, {1.0, 2.0, 3.0});
+  r.set_scalar("level", 2.0);
+  std::vector<CheckOutcome> outcomes;
+  const Verdict verdict = grade(
+      {
+          expect_monotonic_up("curve", 0.0, Verdict::fail, ""),
+          expect_scalar_in_range("level", 5, 6, Verdict::warn, ""),
+      },
+      r, 1.0, &outcomes);
+  EXPECT_EQ(verdict, Verdict::warn);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].verdict, Verdict::pass);
+  EXPECT_EQ(outcomes[1].verdict, Verdict::warn);
+}
+
+TEST(ExperimentResultJson, RoundTripPreservesSeriesScalarsAndNotes) {
+  ExperimentResult r;
+  auto& s = r.add_series("response", {1.0, 2.0, 3.0}, {1.5, 2.25, 6.875});
+  s.color = "#d62728";
+  r.add_series("empty", {}, {});
+  r.set_scalar("growth_ratio", 3.51);
+  r.set_scalar("final", 6.875);
+  r.x_label = "users";
+  r.y_label = "us per \"byte\"";  // exercises string escaping
+  r.notes.push_back("line one\nline two");
+
+  const std::string text = r.to_json().dump();
+  const ExperimentResult back = ExperimentResult::from_json(util::parse_json(text));
+  ASSERT_EQ(back.series.size(), 2u);
+  EXPECT_EQ(back.series[0].name, "response");
+  EXPECT_EQ(back.series[0].color, "#d62728");
+  EXPECT_EQ(back.series[0].xs, r.series[0].xs);
+  EXPECT_EQ(back.series[0].ys, r.series[0].ys);
+  EXPECT_EQ(back.scalars, r.scalars);
+  EXPECT_EQ(back.x_label, "users");
+  EXPECT_EQ(back.y_label, r.y_label);
+  EXPECT_EQ(back.notes, r.notes);
+  // Serialization is canonical: a second trip emits identical bytes.
+  EXPECT_EQ(back.to_json().dump(), text);
+}
+
+TEST(ExperimentResultJson, NonFiniteValuesRoundTripAsNull) {
+  ExperimentResult r;
+  r.add_series("curve", {1.0, 2.0}, {std::numeric_limits<double>::quiet_NaN(), 5.0});
+  r.set_scalar("ratio", std::numeric_limits<double>::infinity());
+  const std::string text = r.to_json().dump();
+  EXPECT_NE(text.find("null"), std::string::npos);
+  const ExperimentResult back = ExperimentResult::from_json(util::parse_json(text));
+  EXPECT_TRUE(std::isnan(back.series[0].ys[0]));
+  EXPECT_EQ(back.series[0].ys[1], 5.0);
+  ASSERT_EQ(back.scalars.size(), 1u);
+  EXPECT_TRUE(std::isnan(back.scalars[0].second));  // Inf clips to null -> NaN
+  EXPECT_EQ(back.to_json().dump(), text);
+}
+
+TEST(Artifacts, WriteCreatesMissingDirectoryAndSlugifiesNames) {
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path() / "wlgen_exp_test_artifacts";
+  std::filesystem::remove_all(base);
+  const std::string dir = (base / "nested" / "out").string();
+  // The old bench/common helper silently returned "" here because the
+  // directory did not exist; the exp:: writer must create it.
+  const std::string path = write_artifact(dir, "Figure 5.6.svg", "<svg/>");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(std::filesystem::path(path).filename().string(), "figure_5_6.svg");
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "<svg/>");
+  std::filesystem::remove_all(base);
+}
+
+TEST(Harness, RunsSelectedExperimentsAndCountsVerdicts) {
+  Registry registry;
+  Experiment good = tiny_experiment("good", 3.0);
+  good.expectations = {expect_monotonic_up("curve", 0.0, Verdict::fail, "")};
+  Experiment bad = tiny_experiment("bad", 0.5);
+  bad.expectations = {expect_monotonic_up("curve", 0.0, Verdict::fail, "")};
+  Experiment throws = tiny_experiment("throws", 1.0);
+  throws.run = [](const RunContext&) -> ExperimentResult {
+    throw std::runtime_error("boom");
+  };
+  registry.add(std::move(good));
+  registry.add(std::move(bad));
+  registry.add(std::move(throws));
+
+  HarnessOptions options;
+  options.write_artifacts = false;
+  const HarnessSummary summary = run_experiments(registry, options);
+  ASSERT_EQ(summary.reports.size(), 3u);
+  EXPECT_EQ(summary.passed, 1u);
+  EXPECT_EQ(summary.failed, 2u);
+  EXPECT_EQ(summary.reports[2].error, "boom");
+  EXPECT_TRUE(summary.any_fail());
+
+  HarnessOptions only;
+  only.write_artifacts = false;
+  only.only = {"good"};
+  EXPECT_EQ(run_experiments(registry, only).reports.size(), 1u);
+  only.only = {"nonexistent"};
+  EXPECT_THROW(run_experiments(registry, only), std::invalid_argument);
+}
+
+TEST(Harness, ExperimentsMdListsEveryReport) {
+  Registry registry;
+  registry.add(tiny_experiment("alpha", 3.0));
+  HarnessOptions options;
+  options.write_artifacts = false;
+  const HarnessSummary summary = run_experiments(registry, options);
+  const std::string md = render_experiments_md(summary, options);
+  EXPECT_NE(md.find("| alpha |"), std::string::npos);
+  EXPECT_NE(md.find("## alpha"), std::string::npos);
+  EXPECT_NE(md.find("1 pass"), std::string::npos);
+}
+
+TEST(Determinism, RegisteredExperimentProducesIdenticalJsonAcrossRuns) {
+  // table5_4 runs three real FSC+USIM workloads; at a reduced profile it is
+  // fast and must be a pure function of (seed, scale).
+  const Experiment experiment = bench::make_table5_4();
+  RunContext ctx;
+  ctx.seed = 1991;
+  ctx.scale = 0.1;
+  const std::string first = experiment.run(ctx).to_json().dump();
+  const std::string second = experiment.run(ctx).to_json().dump();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace wlgen::exp

@@ -184,6 +184,46 @@ TEST(Smoothing, RejectsBadParameters) {
   EXPECT_THROW(gaussian_smooth({1.0}, 0.0), std::invalid_argument);
 }
 
+TEST(Smoothing, MovingAverageRejectsEvenWindows) {
+  // An even window used to be bumped to the next odd size silently, so the
+  // caller's "window" lied about the kernel actually applied.
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(moving_average(values, 2), std::invalid_argument);
+  EXPECT_THROW(moving_average(values, 4), std::invalid_argument);
+  EXPECT_NO_THROW(moving_average(values, 1));
+  EXPECT_NO_THROW(moving_average(values, 3));
+}
+
+TEST(Smoothing, HistogramRejectsFractionalOrEvenMovingAverageWindow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  // 3.7 used to be truncated to a 3-bin window silently.
+  EXPECT_THROW(smooth_histogram(h, SmoothingKind::moving_average, 3.7), std::invalid_argument);
+  EXPECT_THROW(smooth_histogram(h, SmoothingKind::moving_average, 4.0), std::invalid_argument);
+  EXPECT_THROW(smooth_histogram(h, SmoothingKind::moving_average, 0.5), std::invalid_argument);
+  // Fractional bandwidths are the *intended* gaussian contract.
+  EXPECT_NO_THROW(smooth_histogram(h, SmoothingKind::gaussian, 0.75));
+}
+
+TEST(Smoothing, TotalMassPreservedWithMassConcentratedAtHistogramEdges) {
+  // Edge regression for both smoothing kinds: a shrunken / renormalised edge
+  // kernel plus the final renormalisation must keep the total count exact
+  // even when every observation sits in the first or last bin.
+  for (const bool at_high_edge : {false, true}) {
+    Histogram h(0.0, 10.0, 12);
+    for (int i = 0; i < 500; ++i) h.add(at_high_edge ? 9.99 : 0.0);
+    h.add(at_high_edge ? 0.0 : 9.99);  // a token count in the opposite bin
+    for (const SmoothingKind kind : {SmoothingKind::moving_average, SmoothingKind::gaussian}) {
+      const Histogram s = smooth_histogram(h, kind, kind == SmoothingKind::gaussian ? 1.5 : 5.0);
+      double before = 0.0, after = 0.0;
+      for (double c : h.counts()) before += c;
+      for (double c : s.counts()) after += c;
+      EXPECT_NEAR(before, after, 1e-9);
+      EXPECT_EQ(s.bin_count(), h.bin_count());
+    }
+  }
+}
+
 TEST(KsTest, AcceptsMatchingDistribution) {
   util::RngStream rng(5, "ks");
   dist::ExponentialDistribution d(100.0);

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "util/ascii_plot.h"
+#include "util/json.h"
 #include "util/numeric.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -285,6 +286,80 @@ TEST(Strings, JoinAndLower) {
   EXPECT_EQ(to_lower("AbC"), "abc");
   EXPECT_TRUE(starts_with("hello", "he"));
   EXPECT_FALSE(starts_with("h", "he"));
+}
+
+TEST(Strings, SlugifyCollapsesSeparatorRuns) {
+  EXPECT_EQ(slugify("Figure 5.6"), "figure_5_6");
+  EXPECT_EQ(slugify("Table 5.1"), "table_5_1");
+  EXPECT_EQ(slugify("  Sections 2.1, 5.3 — baselines "), "sections_2_1_5_3_baselines");
+  EXPECT_EQ(slugify("already_a_slug"), "already_a_slug");
+  EXPECT_EQ(slugify(""), "artifact");
+  EXPECT_EQ(slugify("---"), "artifact");
+}
+
+TEST(Strings, SlugifyFilenamePreservesExtension) {
+  EXPECT_EQ(slugify_filename("Figure 5.6.svg"), "figure_5_6.svg");
+  EXPECT_EQ(slugify_filename("Figure 5.6.JSON"), "figure_5_6.json");
+  EXPECT_EQ(slugify_filename("EXPERIMENTS.md"), "experiments.md");
+  EXPECT_EQ(slugify_filename("no extension here"), "no_extension_here");
+}
+
+TEST(Json, DumpAndParseRoundTrip) {
+  JsonValue doc = JsonValue::make_object();
+  doc.set("name", "fig5_6");
+  doc.set("count", 23);
+  doc.set("pi", 3.14159265358979);
+  doc.set("ok", true);
+  doc.set("missing", JsonValue());
+  JsonValue xs = JsonValue::make_array();
+  for (double v : {1.0, 2.5, -3.0}) xs.push_back(v);
+  doc.set("xs", std::move(xs));
+
+  const std::string text = doc.dump();
+  const JsonValue back = parse_json(text);
+  EXPECT_EQ(back.at("name").as_string(), "fig5_6");
+  EXPECT_EQ(back.at("count").as_number(), 23.0);
+  EXPECT_DOUBLE_EQ(back.at("pi").as_number(), 3.14159265358979);
+  EXPECT_TRUE(back.at("ok").as_bool());
+  EXPECT_TRUE(back.at("missing").is_null());
+  ASSERT_EQ(back.at("xs").as_array().size(), 3u);
+  EXPECT_EQ(back.at("xs").as_array()[1].as_number(), 2.5);
+  // Key order survives, so re-dumping is byte-identical.
+  EXPECT_EQ(back.dump(), text);
+}
+
+TEST(Json, StringEscapesSurviveRoundTrip) {
+  JsonValue doc = JsonValue::make_object();
+  doc.set("text", "line\n\"quoted\"\tback\\slash");
+  const JsonValue back = parse_json(doc.dump());
+  EXPECT_EQ(back.at("text").as_string(), "line\n\"quoted\"\tback\\slash");
+}
+
+TEST(Json, SurrogatePairsDecodeToOneUtf8CodePoint) {
+  // \uD83D\uDE00 is U+1F600; decoding the halves independently would emit
+  // invalid UTF-8 (CESU-8) that strict consumers reject.
+  const JsonValue v = parse_json("\"\\uD83D\\uDE00\"");
+  EXPECT_EQ(v.as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_THROW(parse_json("\"\\uD83D\""), std::runtime_error);     // unpaired high
+  EXPECT_THROW(parse_json("\"\\uDE00\""), std::runtime_error);     // lone low
+  EXPECT_THROW(parse_json("\"\\uD83D\\u0041\""), std::runtime_error);  // bad pair
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\": 1} trailing"), std::runtime_error);
+  EXPECT_THROW(parse_json("nope"), std::runtime_error);
+  EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+}
+
+TEST(Json, LookupHelpers) {
+  JsonValue doc = JsonValue::make_object();
+  doc.set("a", 1);
+  EXPECT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.find("b"), nullptr);
+  EXPECT_THROW(doc.at("b"), std::runtime_error);
+  EXPECT_THROW(doc.at("a").as_string(), std::runtime_error);
 }
 
 }  // namespace
