@@ -10,10 +10,13 @@
 namespace wlgen::bench {
 
 /// Builds one of the paper's Figures 5.6–5.11 experiments: average response
-/// time per byte for 1..6 simultaneous users of the given population.  The
-/// result carries a "response" series (us/byte vs users) plus the scalars
-/// `first_user_us_per_byte`, `final_us_per_byte` and `growth_ratio`
-/// (6-user / 1-user level) that the expectations grade.
+/// time per byte for 1..6 simultaneous users of the given population, run on
+/// the contended runner (exp::contended_response_sweep) with
+/// ctx.replications independent replications per load point.  The result
+/// carries a "response" series (pooled us/byte vs users) plus ci_lo/ci_hi
+/// band series and the scalars `first_user_us_per_byte`,
+/// `final_us_per_byte`, `growth_ratio` (6-user / 1-user level),
+/// `final_ci_half_width` and `replications` that the expectations grade.
 exp::Experiment response_experiment(std::string id, std::string artifact, std::string title,
                                     core::Population population, std::string paper_claim,
                                     std::vector<exp::Expectation> expectations);

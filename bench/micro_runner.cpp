@@ -1,12 +1,17 @@
-// Microbenchmark (google-benchmark): shard-scaling of runner::ShardedRunner —
-// wall-clock throughput of the same fixed workload (users x sessions against
-// the NFS model, log collection off) as the worker-thread count grows.  The
-// scoreboard entry behind the DESIGN.md scaling table: on an M-core machine
-// BM_ShardedRunner/T should approach T-fold the /1 items-per-second rate
-// until T exceeds M (on a single-core CI container the curve is flat).
+// Microbenchmark (google-benchmark): scaling of the two parallel runners.
+//
+// BM_ShardedRunner — wall-clock throughput of the same fixed workload
+// (users x sessions against the NFS model, log collection off) as the
+// worker-thread count grows.  BM_ContendedRunner — the same question for
+// the contended path: a fixed (load points x replications) grid of
+// shared-machine simulations drained by a growing pool.  Both are
+// scoreboard entries behind the DESIGN.md scaling tables: on an M-core
+// machine the /T rate should approach T-fold the /1 rate until T exceeds M
+// (on a single-core CI container the curves are flat).
 
 #include <benchmark/benchmark.h>
 
+#include "runner/contended_runner.h"
 #include "runner/sharded_runner.h"
 
 namespace {
@@ -41,6 +46,33 @@ void BM_ShardedRunner(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(sessions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ShardedRunner)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+// Contended-replication scaling: Figures 5.6-5.11's job shape in miniature
+// (a users sweep, R replications per point, every job one shared-machine
+// Simulation).  Items = replications completed.
+void BM_ContendedRunner(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kReplications = 4;
+  std::uint64_t ops = 0;
+  std::size_t replications = 0;
+  for (auto _ : state) {
+    runner::ContendedConfig config;
+    config.user_points = {1, 2, 4};
+    config.replications = kReplications;
+    config.threads = threads;
+    config.usim.sessions_per_user = kSessions;
+    runner::ContendedRunner run(std::move(config));
+    const auto result = run.run();
+    ops += result.total_ops;
+    replications += result.replications.size();
+    benchmark::DoNotOptimize(result.points.back().response_per_byte.mean);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(replications));
+  state.counters["syscalls/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ContendedRunner)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()->UseRealTime();
 
 // Merge overhead in isolation: the (time, user) stable-sort fold over

@@ -7,8 +7,9 @@
 # Usage: bench/record_bench.sh [path-to-micro_bench] [output.json] [path-to-micro_runner]
 #
 # When the micro_runner binary exists (third argument, defaulting to the
-# sibling of micro_bench), its shard-scaling entries are merged into the
-# same scoreboard file.
+# sibling of micro_bench), its runner-scaling entries — BM_ShardedRunner
+# shard scaling, BM_ContendedRunner contended-replication scaling, and the
+# BM_MergeUserLogs fold — are merged into the same scoreboard file.
 set -euo pipefail
 
 BIN="${1:-build/micro_bench}"

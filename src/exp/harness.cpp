@@ -109,9 +109,21 @@ HarnessSummary run_experiments(const Registry& registry, const HarnessOptions& o
   summary.out_dir = artifact_dir(options.out_dir);
   summary.reports.resize(selected.size());
 
+  if (options.replications == 0) {
+    throw std::invalid_argument("run_experiments: --replications must be >= 1");
+  }
+
   RunContext context;
   context.seed = options.seed;
   context.scale = options.scale;
+  context.replications = options.replications;
+  // The harness pool already spreads experiments over the cores, so when
+  // several experiments run, each contended sweep stays single-threaded —
+  // nesting pools would multiply the thread count, not the budget.  A
+  // single selected experiment (--only fig5_6) has no outer parallelism, so
+  // the sweep gets the whole requested budget.  Results are thread-count
+  // invariant either way.
+  context.contended_threads = selected.size() > 1 ? 1 : options.threads;
 
   // Independent experiments drain over the shared worker pool; each report
   // lands in its own slot, so the summary order is registration order no
@@ -206,6 +218,7 @@ std::string render_experiments_md(const HarnessSummary& summary,
   out << "Generated by `wlgen experiments" << (options.check ? " --check" : "");
   if (options.scale != 1.0) out << " --scale " << options.scale;
   if (options.seed != 1991) out << " --seed " << options.seed;
+  if (options.replications != 3) out << " --replications " << options.replications;
   out << "`: every registered figure/table experiment of Kao & Iyer (ICDCS '92), graded\n"
          "against the paper's described curve shapes (PASS / WARN / FAIL).  WARN means\n"
          "the shape holds but an absolute level differs from the 1992 testbed's; FAIL\n"

@@ -17,6 +17,7 @@ struct HarnessOptions {
   double scale = 1.0;             ///< session-count scale, (0, 1]
   std::uint64_t seed = 1991;
   std::size_t threads = 0;        ///< worker threads (0 = hardware concurrency)
+  std::size_t replications = 3;   ///< contended-sweep replications per load point
   bool verbose = false;           ///< print every check, not just violations
 };
 

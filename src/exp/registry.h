@@ -18,6 +18,18 @@ struct RunContext {
   std::uint64_t seed = 1991;  ///< base seed; experiments add their own offsets
   double scale = 1.0;         ///< session-count multiplier in (0, 1]
 
+  /// Independent replications for contended (shared-machine) sweeps — the
+  /// runner::ContendedRunner hook behind Figures 5.6–5.11.  Each replication
+  /// reruns the whole sweep point under its own derived seed; the reported
+  /// level pools them and carries a cross-replication mean/CI.
+  std::size_t replications = 3;
+
+  /// Worker threads a contended sweep may use for its (point x replication)
+  /// jobs (0 = hardware concurrency).  The harness already parallelises
+  /// across experiments, so this stays an explicit knob rather than a
+  /// hard-wired fan-out.  Never affects results, only wall time.
+  std::size_t contended_threads = 0;
+
   /// Scales a paper session count, never below 4 (per-session statistics
   /// need a handful of sessions to mean anything).
   std::size_t sessions(std::size_t paper_sessions) const;

@@ -10,6 +10,7 @@
 #include "fsmodel/local_model.h"
 #include "fsmodel/nfs_model.h"
 #include "fsmodel/wholefile_model.h"
+#include "runner/contended_runner.h"
 #include "sim/simulation.h"
 
 namespace wlgen::exp {
@@ -66,19 +67,31 @@ WorkloadOutput run_workload(const WorkloadConfig& config) {
   return out;
 }
 
-std::vector<double> response_per_byte_sweep(const core::Population& population,
-                                            std::size_t max_users, std::size_t sessions,
-                                            std::uint64_t seed, ModelKind model) {
-  std::vector<double> out;
-  for (std::size_t users = 1; users <= max_users; ++users) {
-    WorkloadConfig config;
-    config.num_users = users;
-    config.sessions_per_user = sessions;
-    config.seed = seed + users;
-    config.model = model;
-    config.population = population;
-    config.usim.collect_log = true;
-    out.push_back(run_workload(config).response_per_byte_us);
+std::vector<ContendedSweepPoint> contended_response_sweep(const ContendedSweepConfig& config) {
+  runner::ContendedConfig contended;
+  for (std::size_t users = 1; users <= config.max_users; ++users) {
+    contended.user_points.push_back(users);
+  }
+  contended.replications = config.replications;
+  contended.threads = config.threads;
+  contended.seed = config.seed;
+  contended.usim.sessions_per_user = config.sessions_per_user;
+  contended.population = config.population;
+  // One ModelKind mapping for the whole file: a kind make_model doesn't
+  // know throws, instead of leaving a null factory for the runner's NFS
+  // default to paper over.
+  contended.model_factory = [kind = config.model](sim::Simulation& sim) {
+    return make_model(kind, sim);
+  };
+  contended.tune_model = config.tune_model;
+
+  runner::ContendedRunner run(std::move(contended));
+  const runner::ContendedResult result = run.run();
+
+  std::vector<ContendedSweepPoint> out;
+  out.reserve(result.points.size());
+  for (const auto& point : result.points) {
+    out.push_back({point.users, point.stats.response_per_byte_us(), point.response_per_byte});
   }
   return out;
 }

@@ -11,6 +11,7 @@
 #include "core/presets.h"
 #include "core/usim.h"
 #include "fsmodel/model.h"
+#include "stats/summary.h"
 
 namespace wlgen::exp {
 
@@ -48,12 +49,38 @@ struct WorkloadOutput {
 /// Runs one workload to completion.
 WorkloadOutput run_workload(const WorkloadConfig& config);
 
-/// The paper's Figures 5.6–5.11 sweep: response time per byte for
-/// 1..max_users simultaneous users of the given population.
-std::vector<double> response_per_byte_sweep(const core::Population& population,
-                                            std::size_t max_users, std::size_t sessions,
-                                            std::uint64_t seed = 1991,
-                                            ModelKind model = ModelKind::nfs);
+/// Configuration of a contended response sweep (the paper's Figures
+/// 5.6–5.11): response time per byte for 1..max_users simultaneous users of
+/// one population, each load point replicated `replications` times with
+/// independent seeds and executed on runner::ContendedRunner's
+/// (point x replication) worker pool.
+struct ContendedSweepConfig {
+  std::size_t max_users = 6;           ///< sweep points are 1..max_users
+  std::size_t sessions_per_user = 50;  ///< paper: mean over 50 login sessions
+  std::size_t replications = 1;
+  std::size_t threads = 0;  ///< worker threads (0 = hardware concurrency)
+  std::uint64_t seed = 1991;
+  ModelKind model = ModelKind::nfs;
+  core::Population population;  ///< empty = core::default_population()
+  std::function<void(fsmodel::FileSystemModel&)> tune_model;  ///< optional
+};
+
+/// One sweep point's merged outcome.
+struct ContendedSweepPoint {
+  std::size_t users = 0;
+
+  /// Response per byte pooled over the point's replications (total response
+  /// over total bytes — the same estimator the single-run path reports).
+  double response_per_byte_us = 0.0;
+
+  /// Cross-replication mean/95% CI of the per-replication levels.
+  stats::MeanCi ci;
+};
+
+/// Runs the contended sweep.  Deterministic: results are a pure function of
+/// the config, independent of `threads` (the ContendedRunner merge
+/// contract).
+std::vector<ContendedSweepPoint> contended_response_sweep(const ContendedSweepConfig& config);
 
 /// The paper's section-5.1 characterisation workload (600 login sessions at
 /// full scale); Figures 5.3–5.5 are different projections of one run, so the

@@ -51,15 +51,11 @@ double NfsModel::copy_cost_us(std::uint64_t bytes) const {
   return params_.client_byte_copy_us_per_kb * static_cast<double>(bytes) / 1024.0;
 }
 
-void NfsModel::plan_block_read(sim::StageChain& chain, Client& client, std::uint64_t file_id,
-                               std::uint64_t block, bool sequential) {
-  const std::uint64_t key = block_key(file_id, block);
-  if (client.cache.access(key)) {
-    chain.push_back(sim::Stage::make_use(client.cpu, params_.client_hit_us));
-    return;
-  }
-  // Client miss: READ RPC.  Request travels, server CPU demultiplexes, then
-  // the server buffer cache decides whether the disk is touched.
+void NfsModel::append_block_fetch(sim::StageChain& chain, std::uint64_t key, bool sequential) {
+  // One full-block READ RPC: request travels, server CPU demultiplexes, the
+  // server buffer cache decides whether the disk is touched, the block
+  // travels back.  Shared by foreground misses and background read-ahead so
+  // the two kinds of traffic can never drift apart in cost.
   ++rpcs_;
   network_.append_message_stages(chain, params_.rpc_request_bytes);
   chain.push_back(sim::Stage::make_use(server_cpu_, params_.server_cpu_us));
@@ -73,7 +69,39 @@ void NfsModel::plan_block_read(sim::StageChain& chain, Client& client, std::uint
     server_cache_.insert(key);
   }
   network_.append_message_stages(chain, params_.block_size + params_.rpc_reply_meta_bytes);
+}
+
+void NfsModel::plan_block_read(sim::StageChain& chain, Client& client, std::uint64_t file_id,
+                               std::uint64_t block, bool sequential) {
+  const std::uint64_t key = block_key(file_id, block);
+  if (client.cache.access(key)) {
+    chain.push_back(sim::Stage::make_use(client.cpu, params_.client_hit_us));
+    return;
+  }
+  append_block_fetch(chain, key, sequential);
   client.cache.insert(key);
+}
+
+void NfsModel::schedule_readahead(Client& client, std::uint64_t file_id,
+                                  std::uint64_t first_block, std::uint64_t file_blocks) {
+  // Background read-ahead (the read half of biod): the prefetched block's
+  // journey occupies the same resources as a foreground miss — so it still
+  // costs shared capacity under contention — but the issuing call does not
+  // wait for it.  The block is inserted into the caches at plan time, the
+  // same simplification every cache decision in this model already makes.
+  // Bounded at EOF (`file_blocks`): the client holds the file's attributes
+  // and never fetches past the last block, which matters here because the
+  // DI86 file population averages barely over one 8 KiB block per file.
+  for (std::size_t i = 0; i < params_.readahead_blocks; ++i) {
+    if (first_block + i >= file_blocks) return;
+    const std::uint64_t key = block_key(file_id, first_block + i);
+    if (client.cache.contains(key)) continue;
+    sim::StageChain fetch;
+    ++readaheads_;
+    append_block_fetch(fetch, key, /*sequential=*/true);
+    sim::execute_chain(sim_, std::move(fetch), [](sim::SimTime) {});
+    client.cache.insert(key);
+  }
 }
 
 sim::StageChain NfsModel::plan_read(const FsOp& op) {
@@ -89,6 +117,14 @@ sim::StageChain NfsModel::plan_read(const FsOp& op) {
     // The first block of a fresh (non-sequential) access pays a full seek;
     // follow-on blocks stream sequentially.
     plan_block_read(chain, client, op.file_id, b, sequential || b != first);
+  }
+  // A *proven* sequential stream — a continuation, not a file's first read —
+  // prefetches ahead of the reader, up to EOF (SunOS arms read-ahead once
+  // consecutive reads are observed, not on every cold first access).
+  if (sequential && op.offset > 0 && params_.readahead_blocks > 0 && op.file_size > 0) {
+    const std::uint64_t file_blocks =
+        (op.file_size + params_.block_size - 1) / params_.block_size;
+    schedule_readahead(client, op.file_id, last + 1, file_blocks);
   }
   client.last_end[op.file_id] = op.offset + op.size;
   return chain;
@@ -226,7 +262,7 @@ sim::StageChain NfsModel::plan(const FsOp& op) {
 std::string NfsModel::stats_summary() const {
   std::ostringstream out;
   out << "nfs model: clients=" << clients_.size() << " rpcs=" << rpcs_
-      << " async_flushes=" << async_flushes_ << "\n";
+      << " async_flushes=" << async_flushes_ << " readaheads=" << readaheads_ << "\n";
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     const Client& c = *clients_[i];
     out << "  client " << i << ": block cache hits=" << c.cache.hits()
@@ -255,6 +291,7 @@ void NfsModel::reset_stats() {
   network_.medium().reset_stats();
   rpcs_ = 0;
   async_flushes_ = 0;
+  readaheads_ = 0;
 }
 
 }  // namespace wlgen::fsmodel

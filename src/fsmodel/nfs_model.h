@@ -34,6 +34,15 @@ struct NfsParams {
   net::NetworkParams network = {};          ///< shared Ethernet segment
   DiskParams disk = {};                     ///< server disk
   bool async_writes = true;                 ///< client write-behind (biod)
+  /// Client read-ahead depth in blocks — the read half of the biod daemons
+  /// (SunOS prefetches on sequential reads just as it write-behinds).  After
+  /// a sequential read the client fetches the next `readahead_blocks`
+  /// uncached blocks in the background: the transfer consumes the network,
+  /// server CPU/cache/disk (so contended capacity is still spent) but its
+  /// latency is hidden from the issuing call, which is what keeps the
+  /// per-byte floor of large sequential transfers near the copy cost
+  /// (Figure 5.12's amortisation argument).  0 disables.
+  std::size_t readahead_blocks = 1;
   /// Number of client workstations sharing the network and server.  The
   /// paper's testbed is one SUN 3/50 (num_clients = 1); larger values model
   /// the "distributed system, consisting of possible different types of
@@ -78,6 +87,7 @@ class NfsModel final : public FileSystemModel {
   sim::Resource& server_cpu() { return server_cpu_; }
   net::Network& network() { return network_; }
   std::uint64_t rpc_count() const { return rpcs_; }
+  std::uint64_t readahead_count() const { return readaheads_; }
 
  private:
   /// Per-workstation state: its CPU and its caches.
@@ -93,9 +103,12 @@ class NfsModel final : public FileSystemModel {
 
   Client& client_for(const FsOp& op);
   std::uint64_t block_key(std::uint64_t file_id, std::uint64_t block_index) const;
+  void append_block_fetch(sim::StageChain& chain, std::uint64_t key, bool sequential);
   void plan_block_read(sim::StageChain& chain, Client& client, std::uint64_t file_id,
                        std::uint64_t block, bool sequential);
   void schedule_async_flush(std::uint64_t bytes);
+  void schedule_readahead(Client& client, std::uint64_t file_id, std::uint64_t first_block,
+                          std::uint64_t file_blocks);
   sim::StageChain plan_read(const FsOp& op);
   sim::StageChain plan_write(const FsOp& op);
   sim::StageChain plan_metadata(const FsOp& op, bool mutates);
@@ -111,6 +124,7 @@ class NfsModel final : public FileSystemModel {
   LruCache server_attr_;
   std::uint64_t rpcs_ = 0;
   std::uint64_t async_flushes_ = 0;
+  std::uint64_t readaheads_ = 0;
 };
 
 }  // namespace wlgen::fsmodel

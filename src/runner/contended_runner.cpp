@@ -1,0 +1,140 @@
+#include "runner/contended_runner.h"
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/presets.h"
+#include "fs/filesystem.h"
+#include "runner/pool.h"
+#include "util/rng.h"
+
+namespace wlgen::runner {
+
+std::uint64_t replication_seed(std::uint64_t root_seed, std::size_t replication) {
+  // Chain two util::splitmix64 steps so nearby (root, replication) pairs
+  // never collide by simple arithmetic coincidence; the result is a pure
+  // function of the two inputs.
+  std::uint64_t state = root_seed;
+  state = util::splitmix64(state) + static_cast<std::uint64_t>(replication);
+  return util::splitmix64(state);
+}
+
+/// Everything one replication produces; slots are per-job, so workers never
+/// write to shared state.
+struct ContendedRunner::JobOutcome {
+  explicit JobOutcome(HistogramSpec spec) : stats(spec) {}
+
+  RunnerStats stats;
+  double simulated_us = 0.0;
+  std::uint64_t ops = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t events = 0;
+};
+
+ContendedRunner::ContendedRunner(ContendedConfig config) : config_(std::move(config)) {
+  if (config_.user_points.empty()) {
+    throw std::invalid_argument("ContendedRunner: need >= 1 sweep point");
+  }
+  for (const std::size_t users : config_.user_points) {
+    if (users == 0) throw std::invalid_argument("ContendedRunner: sweep points need >= 1 user");
+  }
+  if (config_.replications == 0) {
+    throw std::invalid_argument("ContendedRunner: need >= 1 replication");
+  }
+  if (config_.profiles.empty()) config_.profiles = core::di86_file_profiles();
+  if (config_.population.groups.empty()) config_.population = core::default_population();
+  if (!config_.model_factory) config_.model_factory = nfs_model_factory();
+}
+
+void ContendedRunner::run_replication(sim::Simulation& sim, std::size_t users,
+                                      std::uint64_t seed, JobOutcome& out) const {
+  sim.reset();
+
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&sim] { return sim.now(); });
+  auto model = config_.model_factory(sim);
+  if (config_.tune_model) config_.tune_model(*model);
+
+  core::FscConfig fsc_config = config_.fsc;
+  fsc_config.num_users = users;
+  fsc_config.first_user = 0;
+  fsc_config.seed = seed;
+  core::FileSystemCreator fsc(fsys, config_.profiles, fsc_config);
+  const core::CreatedFileSystem manifest = fsc.create();
+
+  core::UsimConfig usim_config = config_.usim;
+  usim_config.num_users = users;
+  usim_config.first_user = 0;
+  usim_config.population_users = users;
+  usim_config.seed = seed;
+  usim_config.collect_log = false;  // aggregates only; replications do not share a log
+  usim_config.on_record = [&out](const core::OpRecord& r) { out.stats.add(r); };
+
+  core::UserSimulator usim(sim, fsys, *model, manifest, config_.population, usim_config);
+  usim.run();
+
+  out.simulated_us = sim.now();
+  out.ops = usim.total_ops();
+  out.sessions = usim.sessions_completed();
+  out.events = sim.events_processed();
+}
+
+ContendedResult ContendedRunner::run() {
+  if (ran_) throw std::logic_error("ContendedRunner::run: may only run once");
+  ran_ = true;
+  const auto run_start = std::chrono::steady_clock::now();
+
+  const std::size_t points = config_.user_points.size();
+  const std::size_t reps = config_.replications;
+  const std::size_t jobs = points * reps;
+
+  std::vector<JobOutcome> outcomes(jobs, JobOutcome(config_.histogram));
+  std::vector<ReplicationReport> reports(jobs);
+
+  // Workers drain the (point x replication) grid; each owns one Simulation
+  // whose clock and event arena are reset between jobs.  Job j = p * reps + r
+  // writes only to slot j, so scheduling never touches shared state.
+  drain_pool(jobs, config_.threads, [&]() -> PoolJob {
+    auto sim = std::make_shared<sim::Simulation>();
+    return [&, sim](std::size_t j, const std::atomic<bool>& cancelled) {
+      if (cancelled.load(std::memory_order_relaxed)) return;
+      const std::size_t p = j / reps;
+      const std::size_t r = j % reps;
+      const std::size_t users = config_.user_points[p];
+      const std::uint64_t seed = replication_seed(config_.seed, r);
+      const auto job_start = std::chrono::steady_clock::now();
+      run_replication(*sim, users, seed, outcomes[j]);
+      reports[j] = {p, r, seed, outcomes[j].ops, outcomes[j].events,
+                    outcomes[j].simulated_us, elapsed_ms(job_start)};
+    };
+  });
+
+  // Deterministic fold: fixed (point, replication) order, independent of
+  // which thread produced each slot.
+  ContendedResult result;
+  result.points.reserve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    ContendedPoint point;
+    point.users = config_.user_points[p];
+    point.stats = RunnerStats(config_.histogram);
+    point.replication_levels.reserve(reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+      const JobOutcome& out = outcomes[p * reps + r];
+      point.stats.merge(out.stats);
+      point.replication_levels.push_back(out.stats.response_per_byte_us());
+      point.total_ops += out.ops;
+      point.sessions_completed += out.sessions;
+    }
+    point.response_per_byte =
+        stats::mean_confidence_interval(point.replication_levels, config_.confidence);
+    result.total_ops += point.total_ops;
+    result.points.push_back(std::move(point));
+  }
+  result.replications = std::move(reports);
+  result.wall_ms = elapsed_ms(run_start);
+  return result;
+}
+
+}  // namespace wlgen::runner

@@ -1,0 +1,32 @@
+#include "runner/model_factory.h"
+
+#include <stdexcept>
+
+#include "fsmodel/local_model.h"
+#include "fsmodel/nfs_model.h"
+#include "fsmodel/wholefile_model.h"
+
+namespace wlgen::runner {
+
+ModelFactory nfs_model_factory() {
+  return [](sim::Simulation& sim) { return std::make_unique<fsmodel::NfsModel>(sim); };
+}
+
+ModelFactory local_model_factory() {
+  return [](sim::Simulation& sim) { return std::make_unique<fsmodel::LocalDiskModel>(sim); };
+}
+
+ModelFactory wholefile_model_factory() {
+  return
+      [](sim::Simulation& sim) { return std::make_unique<fsmodel::WholeFileCacheModel>(sim); };
+}
+
+ModelFactory model_factory_by_name(const std::string& name) {
+  if (name == "nfs") return nfs_model_factory();
+  if (name == "local") return local_model_factory();
+  if (name == "wholefile") return wholefile_model_factory();
+  throw std::invalid_argument("model_factory_by_name: unknown model '" + name +
+                              "' (nfs|local|wholefile)");
+}
+
+}  // namespace wlgen::runner

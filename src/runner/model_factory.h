@@ -1,0 +1,27 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "fsmodel/model.h"
+#include "sim/simulation.h"
+
+namespace wlgen::runner {
+
+/// Builds a fresh performance-model instance bound to a Simulation.  The
+/// sharded runner invokes the factory once per user (every user owns a
+/// private workstation/server universe); the contended runner invokes it
+/// once per replication (all of a sweep point's users share the instance).
+using ModelFactory =
+    std::function<std::unique_ptr<fsmodel::FileSystemModel>(sim::Simulation&)>;
+
+/// Factories for the three paper models with default parameters.
+ModelFactory nfs_model_factory();
+ModelFactory local_model_factory();
+ModelFactory wholefile_model_factory();
+
+/// "nfs" | "local" | "wholefile"; throws std::invalid_argument otherwise.
+ModelFactory model_factory_by_name(const std::string& name);
+
+}  // namespace wlgen::runner

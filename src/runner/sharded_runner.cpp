@@ -8,42 +8,9 @@
 
 #include "core/presets.h"
 #include "fs/filesystem.h"
-#include "fsmodel/local_model.h"
-#include "fsmodel/nfs_model.h"
-#include "fsmodel/wholefile_model.h"
 #include "runner/pool.h"
 
 namespace wlgen::runner {
-
-namespace {
-
-double elapsed_ms(std::chrono::steady_clock::time_point since) {
-  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - since)
-      .count();
-}
-
-}  // namespace
-
-ModelFactory nfs_model_factory() {
-  return [](sim::Simulation& sim) { return std::make_unique<fsmodel::NfsModel>(sim); };
-}
-
-ModelFactory local_model_factory() {
-  return [](sim::Simulation& sim) { return std::make_unique<fsmodel::LocalDiskModel>(sim); };
-}
-
-ModelFactory wholefile_model_factory() {
-  return
-      [](sim::Simulation& sim) { return std::make_unique<fsmodel::WholeFileCacheModel>(sim); };
-}
-
-ModelFactory model_factory_by_name(const std::string& name) {
-  if (name == "nfs") return nfs_model_factory();
-  if (name == "local") return local_model_factory();
-  if (name == "wholefile") return wholefile_model_factory();
-  throw std::invalid_argument("model_factory_by_name: unknown model '" + name +
-                              "' (nfs|local|wholefile)");
-}
 
 /// Everything one user's universe produces; slots are per-user, so workers
 /// never write to shared state.

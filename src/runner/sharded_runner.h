@@ -11,25 +11,12 @@
 #include "core/workload.h"
 #include "fsmodel/model.h"
 #include "runner/merge.h"
+#include "runner/model_factory.h"
 #include "runner/partition.h"
 #include "runner/stats.h"
 #include "sim/simulation.h"
 
 namespace wlgen::runner {
-
-/// Builds a fresh performance-model instance bound to a shard's Simulation.
-/// Every simulated user gets its own model (its own workstation, caches and
-/// server queues), so the factory is invoked once per user.
-using ModelFactory =
-    std::function<std::unique_ptr<fsmodel::FileSystemModel>(sim::Simulation&)>;
-
-/// Factories for the three paper models with default parameters.
-ModelFactory nfs_model_factory();
-ModelFactory local_model_factory();
-ModelFactory wholefile_model_factory();
-
-/// "nfs" | "local" | "wholefile"; throws std::invalid_argument otherwise.
-ModelFactory model_factory_by_name(const std::string& name);
 
 /// Configuration of a sharded run.
 struct RunnerConfig {

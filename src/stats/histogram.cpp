@@ -17,6 +17,8 @@ Histogram Histogram::from_data(const std::vector<double>& data, std::size_t bins
   const auto [mn, mx] = std::minmax_element(data.begin(), data.end());
   double lo = *mn;
   double hi = *mx;
+  // All-equal data: widen to the documented [lo, lo + 1) fallback so the
+  // constructor's hi > lo contract holds and everything lands in bin 0.
   if (hi <= lo) hi = lo + 1.0;
   Histogram h(lo, hi, bins);
   h.add_all(data);

@@ -15,6 +15,9 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   /// Builds a histogram spanning [min(data), max(data)] with the given bins.
+  /// Degenerate all-equal data (max <= min, e.g. a constant distribution or a
+  /// single sample) widens the range to [lo, lo + 1) instead of throwing, so
+  /// every observation lands in bin 0 — pinned by stats_test.
   static Histogram from_data(const std::vector<double>& data, std::size_t bins);
 
   /// Adds one observation (clamped into the edge bins).

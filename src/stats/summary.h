@@ -41,6 +41,28 @@ class RunningSummary {
 /// Convenience: summary of a whole vector.
 RunningSummary summarize(const std::vector<double>& data);
 
+/// A cross-replication point estimate: sample mean of n independent
+/// replication results with a symmetric two-sided confidence half-width.
+/// This is what the contended runner reports per sweep point (the response
+/// curves of Figures 5.6–5.11 averaged over independent replications).
+struct MeanCi {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< 0 when n < 2 (one sample carries no spread)
+  std::size_t n = 0;
+
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+};
+
+/// Mean and two-sided Student-t confidence interval of independent samples.
+/// Supported confidence levels: 0.90, 0.95 (default), 0.99 — the critical
+/// values are tabulated (exact to published 3-decimal tables for df <= 30,
+/// normal-approximation beyond), so the result is a fixed deterministic
+/// function of the data.  Uses the sample (n-1) variance, unlike
+/// RunningSummary::variance which is the population form.  Throws
+/// std::invalid_argument on empty data or an unsupported confidence level.
+MeanCi mean_confidence_interval(const std::vector<double>& data, double confidence = 0.95);
+
 /// p-th percentile (p in [0,100]) by order-statistic interpolation.
 /// Throws on empty data.
 double percentile(std::vector<double> data, double p);

@@ -7,14 +7,20 @@
 //             [--heavy F] [--seed S] [--markov P] [--pattern seq|random|zipf]
 //             [--windows W] [--spec FILE] [--log OUT.tsv]
 //             [--shards K] [--threads T] [--verify-merge]
+//             [--contended] [--users-sweep A:B:STEP] [--replications R]
 //   wlgen analyze <log.tsv>
 //   wlgen replay <log.tsv> [--model ...] [--closed-loop] [--scale X]
 //   wlgen experiments [--only id[,id...]] [--check] [--list] [--out DIR]
-//                     [--scale F] [--seed S] [--threads N] [--verbose]
+//                     [--scale F] [--seed S] [--threads N] [--replications R]
+//                     [--verbose]
 //
 // --shards routes the run through runner::ShardedRunner (independent user
 // universes, merged deterministically — see DESIGN.md "Sharded runner");
-// without it the classic shared-machine single-Simulation path runs.
+// --contended routes it through runner::ContendedRunner (shared-machine
+// sweep: all users of a load point contend inside one Simulation, load
+// points x replications fan out over the worker pool — see DESIGN.md
+// "Contended runner"); without either the classic shared-machine
+// single-Simulation path runs.
 //
 // `experiments` runs the registered paper figure/table experiments on the
 // exp:: harness (DESIGN.md "Experiment harness"), writing JSON/SVG artifacts
@@ -27,6 +33,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -38,7 +45,9 @@
 #include "core/usim.h"
 #include "exp/harness.h"
 #include "experiments.h"
+#include "runner/contended_runner.h"
 #include "runner/sharded_runner.h"
+#include "util/args.h"
 #include "util/ascii_plot.h"
 #include "util/strings.h"
 #include "util/svg.h"
@@ -47,43 +56,14 @@
 namespace {
 
 using namespace wlgen;
+using util::Args;
 
-/// Tiny flag parser: positional arguments plus --key value pairs.
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> flags;
-
-  static Args parse(int argc, char** argv, int start) {
-    Args out;
-    for (int i = start; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (util::starts_with(arg, "--")) {
-        const std::string key = arg.substr(2);
-        if (i + 1 < argc && !util::starts_with(argv[i + 1], "--")) {
-          out.flags[key] = argv[++i];
-        } else {
-          out.flags[key] = "true";  // boolean flag
-        }
-      } else {
-        out.positional.push_back(arg);
-      }
-    }
-    return out;
-  }
-
-  std::string get(const std::string& key, const std::string& fallback) const {
-    const auto it = flags.find(key);
-    return it == flags.end() ? fallback : it->second;
-  }
-  double number(const std::string& key, double fallback) const {
-    const auto it = flags.find(key);
-    if (it == flags.end()) return fallback;
-    const auto v = util::parse_double(it->second);
-    if (!v) throw std::invalid_argument("flag --" + key + " expects a number");
-    return *v;
-  }
-  bool boolean(const std::string& key) const { return flags.count(key) != 0; }
-};
+/// Flags that never consume a following token (util::Args boolean set).
+const std::set<std::string>& boolean_flags() {
+  static const std::set<std::string> flags = {"check", "list",        "verbose",
+                                              "contended", "verify-merge", "closed-loop"};
+  return flags;
+}
 
 int usage() {
   std::cerr <<
@@ -93,10 +73,12 @@ int usage() {
       "            [--heavy F] [--seed S] [--markov P] [--pattern seq|random|zipf]\n"
       "            [--windows W] [--spec FILE] [--log OUT.tsv]\n"
       "            [--shards K] [--threads T] [--verify-merge]\n"
+      "            [--contended] [--users-sweep A:B:STEP] [--replications R]\n"
       "  wlgen analyze <log.tsv>\n"
       "  wlgen replay <log.tsv> [--model M] [--closed-loop] [--scale X]\n"
       "  wlgen experiments [--only id[,id...]] [--check] [--list] [--out DIR]\n"
-      "                    [--scale F] [--seed S] [--threads N] [--verbose]\n";
+      "                    [--scale F] [--seed S] [--threads N] [--replications R]\n"
+      "                    [--verbose]\n";
   return 1;
 }
 
@@ -107,6 +89,7 @@ std::unique_ptr<fsmodel::FileSystemModel> make_model(const std::string& name,
 }
 
 int cmd_gds(const Args& args) {
+  args.require_known({"plot", "cdf", "points"});
   if (args.positional.empty()) return usage();
   core::DistributionSpecifier gds;
   gds.load_spec_text(util::read_text_file(args.positional[0]));
@@ -123,7 +106,7 @@ int cmd_gds(const Args& args) {
     std::cout << "\n" << gds.render_ascii(args.get("plot", ""));
   }
   if (args.flags.count("cdf")) {
-    const auto points = static_cast<std::size_t>(args.number("points", 64));
+    const std::size_t points = args.count("points", 64);
     std::cout << "\n# CDF table for " << args.get("cdf", "") << "\n"
               << gds.cdf_table(args.get("cdf", ""), points).serialize();
   }
@@ -159,8 +142,8 @@ int cmd_run_sharded(const Args& args, std::size_t users, std::size_t sessions,
                     core::UsimConfig usim_config) {
   runner::RunnerConfig config;
   config.num_users = users;
-  config.shards = static_cast<std::size_t>(args.number("shards", 1));
-  config.threads = static_cast<std::size_t>(args.number("threads", 0));
+  config.shards = args.count("shards", 1);
+  config.threads = args.count("threads", 0);
   config.seed = seed;
   config.usim = std::move(usim_config);
   config.usim.sessions_per_user = sessions;
@@ -200,10 +183,100 @@ int cmd_run_sharded(const Args& args, std::size_t users, std::size_t sessions,
   return 0;
 }
 
+/// Parses a --users-sweep spec: "N" (one point), "A:B" (step 1) or
+/// "A:B:STEP"; throws std::invalid_argument on malformed or empty sweeps.
+std::vector<std::size_t> parse_users_sweep(const std::string& spec) {
+  const std::vector<std::string> parts = util::split(spec, ':');
+  auto part = [&](std::size_t i) -> std::size_t {
+    const auto v = util::parse_int(parts[i]);
+    if (!v || *v < 0) {
+      throw std::invalid_argument("--users-sweep expects A:B:STEP of non-negative integers, "
+                                  "got '" + spec + "'");
+    }
+    return static_cast<std::size_t>(*v);
+  };
+  if (parts.empty() || parts.size() > 3) {
+    throw std::invalid_argument("--users-sweep expects N, A:B or A:B:STEP, got '" + spec + "'");
+  }
+  const std::size_t lo = part(0);
+  const std::size_t hi = parts.size() >= 2 ? part(1) : lo;
+  const std::size_t step = parts.size() == 3 ? part(2) : 1;
+  if (lo == 0 || hi < lo || step == 0) {
+    throw std::invalid_argument("--users-sweep needs 1 <= A <= B and STEP >= 1, got '" + spec +
+                                "'");
+  }
+  std::vector<std::size_t> points;
+  for (std::size_t users = lo; users <= hi; users += step) points.push_back(users);
+  return points;
+}
+
+/// Contended path: one shared-machine Simulation per (load point x
+/// replication) job, fanned out over the worker pool and merged
+/// deterministically (bit-identical for any --threads choice).
+int cmd_run_contended(const Args& args, std::size_t sessions, std::uint64_t seed,
+                      core::Population population, core::UsimConfig usim_config) {
+  if (args.flags.count("log")) {
+    throw std::invalid_argument(
+        "--contended collects cross-replication aggregates only (no merged usage log); "
+        "drop --log or use the classic/sharded paths");
+  }
+  if (args.boolean("verify-merge")) {
+    throw std::invalid_argument(
+        "--verify-merge checks the sharded runner's merged log; contended runs have no "
+        "merged log (thread-invariance is pinned by runner_test instead)");
+  }
+  if (args.flags.count("users") && args.flags.count("users-sweep")) {
+    throw std::invalid_argument("--users and --users-sweep are both load-point selectors; "
+                                "pick one");
+  }
+  runner::ContendedConfig config;
+  // Explicit --users N without a sweep runs that single load point.
+  const std::string default_sweep =
+      args.flags.count("users") && !args.flags.count("users-sweep")
+          ? args.get("users", "1")
+          : "1:6:1";
+  config.user_points = parse_users_sweep(args.get("users-sweep", default_sweep));
+  config.replications = args.count("replications", 3);
+  config.threads = args.count("threads", 0);
+  config.seed = seed;
+  config.usim = std::move(usim_config);
+  config.usim.sessions_per_user = sessions;
+  config.population = std::move(population);
+  config.model_factory = runner::model_factory_by_name(args.get("model", "nfs"));
+
+  runner::ContendedRunner run(std::move(config));
+  const runner::ContendedResult result = run.run();
+
+  std::cout << "model: " << args.get("model", "nfs") << "  contended sweep: "
+            << result.points.size() << " load points x " << run.config().replications
+            << " replications  syscalls: " << result.total_ops << "  wall: " << result.wall_ms
+            << " ms\n\n";
+
+  util::TextTable points({"users", "us/byte (pooled)", "mean +/- ci95", "response us mean(std)",
+                          "syscalls", "sessions"});
+  for (const auto& p : result.points) {
+    points.add_row({std::to_string(p.users),
+                    util::TextTable::num(p.stats.response_per_byte_us(), 4),
+                    util::TextTable::num(p.response_per_byte.mean, 4) + " +/- " +
+                        util::TextTable::num(p.response_per_byte.half_width, 4),
+                    p.stats.response_us().mean_std_string(),
+                    std::to_string(p.total_ops), std::to_string(p.sessions_completed)});
+  }
+  std::cout << points.render();
+  return 0;
+}
+
 int cmd_run(const Args& args) {
-  const auto users = static_cast<std::size_t>(args.number("users", 1));
-  const auto sessions = static_cast<std::size_t>(args.number("sessions", 50));
-  const auto seed = static_cast<std::uint64_t>(args.number("seed", 1991));
+  args.require_known({"users", "sessions", "model", "heavy", "seed", "markov", "pattern",
+                      "windows", "spec", "log", "shards", "threads", "verify-merge",
+                      "contended", "users-sweep", "replications"});
+  if (!args.positional.empty()) {
+    throw std::invalid_argument("unexpected argument '" + args.positional.front() +
+                                "' (run takes only --flags)");
+  }
+  const std::size_t users = args.count("users", 1);
+  const std::size_t sessions = args.count("sessions", 50);
+  const auto seed = static_cast<std::uint64_t>(args.count("seed", 1991));
   const double heavy = args.number("heavy", 1.0);
 
   core::Population population = core::mixed_population(heavy);
@@ -222,7 +295,7 @@ int cmd_run(const Args& args) {
   config.sessions_per_user = sessions;
   config.seed = seed;
   config.markov_persistence = args.number("markov", -1.0);
-  config.windows_per_user = static_cast<std::size_t>(args.number("windows", 1));
+  config.windows_per_user = args.count("windows", 1);
   const std::string pattern = args.get("pattern", "seq");
   if (pattern == "random") {
     config.pattern = core::AccessPattern::uniform_random;
@@ -232,15 +305,25 @@ int cmd_run(const Args& args) {
     throw std::invalid_argument("unknown pattern '" + pattern + "' (seq|random|zipf)");
   }
 
+  if (args.boolean("contended")) {
+    if (args.flags.count("shards")) {
+      throw std::invalid_argument("--contended and --shards are different run modes "
+                                  "(see DESIGN.md); pick one");
+    }
+    return cmd_run_contended(args, sessions, seed, std::move(population), std::move(config));
+  }
   if (args.flags.count("shards")) {
     return cmd_run_sharded(args, users, sessions, seed, std::move(population),
                            std::move(config));
   }
-  if (args.flags.count("threads") || args.boolean("verify-merge")) {
+  if (args.flags.count("threads") || args.boolean("verify-merge") ||
+      args.flags.count("replications") || args.flags.count("users-sweep")) {
     // Guard against silently switching semantics: the classic path is one
     // shared-machine Simulation; parallel execution exists only under the
-    // sharded runner's independent-universe model.
-    throw std::invalid_argument("--threads/--verify-merge require --shards (see DESIGN.md)");
+    // sharded or contended runner models.
+    throw std::invalid_argument(
+        "--threads/--verify-merge require --shards, and --replications/--users-sweep "
+        "require --contended (see DESIGN.md)");
   }
 
   sim::Simulation simulation;
@@ -273,6 +356,14 @@ int cmd_run(const Args& args) {
 /// The paper-expectation harness: runs the 23 registered figure/table
 /// experiments, grades them PASS/WARN/FAIL, and writes the artifact set.
 int cmd_experiments(const Args& args) {
+  args.require_known(
+      {"only", "check", "list", "out", "scale", "seed", "threads", "replications", "verbose"});
+  if (!args.positional.empty()) {
+    // `experiments fig5_1` almost certainly meant `--only fig5_1`; running
+    // all 23 instead would silently ignore the selection.
+    throw std::invalid_argument("unexpected argument '" + args.positional.front() +
+                                "' (to select experiments use --only id[,id...])");
+  }
   exp::Registry& registry = exp::Registry::global();
   if (registry.size() == 0) bench::register_all_experiments(registry);
 
@@ -294,8 +385,9 @@ int cmd_experiments(const Args& args) {
   }
   options.out_dir = args.get("out", "");
   options.scale = args.number("scale", 1.0);
-  options.seed = static_cast<std::uint64_t>(args.number("seed", 1991));
-  options.threads = static_cast<std::size_t>(args.number("threads", 0));
+  options.seed = static_cast<std::uint64_t>(args.count("seed", 1991));
+  options.threads = args.count("threads", 0);
+  options.replications = args.count("replications", 3);
   options.verbose = args.boolean("verbose");
 
   const exp::HarnessSummary summary = exp::run_experiments(registry, options);
@@ -303,6 +395,7 @@ int cmd_experiments(const Args& args) {
 }
 
 int cmd_analyze(const Args& args) {
+  args.require_known({});
   if (args.positional.empty()) return usage();
   const core::UsageLog log = core::UsageLog::parse(util::read_text_file(args.positional[0]));
   print_analysis(log);
@@ -310,6 +403,7 @@ int cmd_analyze(const Args& args) {
 }
 
 int cmd_replay(const Args& args) {
+  args.require_known({"model", "closed-loop", "scale"});
   if (args.positional.empty()) return usage();
   const core::UsageLog trace = core::UsageLog::parse(util::read_text_file(args.positional[0]));
 
@@ -333,7 +427,7 @@ int cmd_replay(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const Args args = Args::parse(argc, argv, 2);
+  const Args args = Args::parse(argc, argv, 2, boolean_flags());
   try {
     if (command == "gds") return cmd_gds(args);
     if (command == "run") return cmd_run(args);

@@ -1,0 +1,85 @@
+#include "util/args.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace wlgen::util {
+
+Args Args::parse(int argc, char** argv, int start, const std::set<std::string>& boolean_flags) {
+  std::vector<std::string> tokens;
+  for (int i = start; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return parse(tokens, boolean_flags);
+}
+
+Args Args::parse(const std::vector<std::string>& tokens,
+                 const std::set<std::string>& boolean_flags) {
+  Args out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& arg = tokens[i];
+    if (!starts_with(arg, "--")) {
+      out.positional.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = body.substr(0, eq);
+      if (boolean_flags.count(key) != 0) {
+        throw std::invalid_argument("flag --" + key + " is boolean and takes no value");
+      }
+      out.flags[key] = body.substr(eq + 1);
+      continue;
+    }
+    if (boolean_flags.count(body) != 0) {
+      out.flags[body] = "true";
+      continue;
+    }
+    if (i + 1 < tokens.size() && !starts_with(tokens[i + 1], "--")) {
+      out.flags[body] = tokens[++i];
+    } else {
+      out.flags[body] = "true";  // trailing / value-less flag
+    }
+  }
+  return out;
+}
+
+void Args::require_known(const std::set<std::string>& known) const {
+  for (const auto& [key, value] : flags) {
+    if (known.count(key) == 0) {
+      throw std::invalid_argument("unknown flag --" + key);
+    }
+  }
+}
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+double Args::number(const std::string& key, double fallback) const {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  const auto v = parse_double(it->second);
+  if (!v) {
+    throw std::invalid_argument("flag --" + key + " expects a number, got '" + it->second +
+                                "'");
+  }
+  return *v;
+}
+
+std::size_t Args::count(const std::string& key, std::size_t fallback) const {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  // Strict integer parse (no doubles): "-1", "1.5", "1e20" and values past
+  // the long long range are all rejected with one clear error, instead of
+  // the old float-to-size_t cast whose out-of-range behaviour was undefined.
+  const auto v = parse_int(it->second);
+  if (!v || *v < 0) {
+    throw std::invalid_argument("flag --" + key + " expects a non-negative integer, got '" +
+                                it->second + "'");
+  }
+  return static_cast<std::size_t>(*v);
+}
+
+}  // namespace wlgen::util

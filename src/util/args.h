@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wlgen::util {
+
+/// Tiny CLI argument parser: positional arguments plus --key flags.
+///
+/// Accepted flag forms:
+///   --key value     (value may be anything that is not itself a known form,
+///                    including negatives like "-1" — range checks happen in
+///                    the typed getters)
+///   --key=value     (always unambiguous; the only way to give a value that
+///                    starts with "--")
+///   --key           (boolean; stored as "true")
+///
+/// Flags named in `boolean_flags` never consume the next token, so
+/// `wlgen experiments --check fig5_1` keeps "fig5_1" positional instead of
+/// silently swallowing it as --check's value — the historical parser bug.
+/// A boolean flag given an explicit `--key=value` is rejected.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  /// Parses argv[start..argc).  Throws std::invalid_argument on
+  /// `--bool-flag=value`.
+  static Args parse(int argc, char** argv, int start,
+                    const std::set<std::string>& boolean_flags = {});
+
+  /// Same, over a token vector (the testable entry point).
+  static Args parse(const std::vector<std::string>& tokens,
+                    const std::set<std::string>& boolean_flags = {});
+
+  /// Raw string value, or `fallback` when the flag is absent.
+  std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Floating-point value; throws std::invalid_argument on a malformed
+  /// number.
+  double number(const std::string& key, double fallback) const;
+
+  /// Non-negative integral count (--users, --sessions, --shards, ...).
+  /// Strict integer parse: throws std::invalid_argument on malformed,
+  /// negative, fractional or out-of-long-long-range values — the historical
+  /// parser static_cast a double straight to std::size_t, so `--users -1`
+  /// (or an overflowing magnitude) was undefined behaviour.
+  std::size_t count(const std::string& key, std::size_t fallback) const;
+
+  /// True when the flag was given (with any value).
+  bool boolean(const std::string& key) const { return flags.count(key) != 0; }
+
+  /// Throws std::invalid_argument naming the first flag not in `known` —
+  /// without this a misspelled flag (`--chek fig5_1`) parses as an unknown
+  /// key that silently swallows the next token and is never read.
+  void require_known(const std::set<std::string>& known) const;
+};
+
+}  // namespace wlgen::util

@@ -254,5 +254,44 @@ TEST(Determinism, RegisteredExperimentProducesIdenticalJsonAcrossRuns) {
   EXPECT_EQ(first, second);
 }
 
+TEST(Harness, ReplicationsAndContendedThreadsReachTheRunContext) {
+  Registry registry;
+  Experiment probe = tiny_experiment("probe", 3.0);
+  probe.run = [](const RunContext& ctx) {
+    ExperimentResult result;
+    result.set_scalar("replications", static_cast<double>(ctx.replications));
+    result.set_scalar("contended_threads", static_cast<double>(ctx.contended_threads));
+    return result;
+  };
+  registry.add(std::move(probe));
+
+  HarnessOptions options;
+  options.write_artifacts = false;
+  options.replications = 5;
+  options.threads = 2;
+  const HarnessSummary summary = run_experiments(registry, options);
+  ASSERT_EQ(summary.reports.size(), 1u);
+  EXPECT_DOUBLE_EQ(*summary.reports[0].result.find_scalar("replications"), 5.0);
+  EXPECT_DOUBLE_EQ(*summary.reports[0].result.find_scalar("contended_threads"), 2.0);
+
+  options.replications = 0;
+  EXPECT_THROW(run_experiments(registry, options), std::invalid_argument);
+}
+
+TEST(Determinism, ContendedResponseExperimentIsThreadInvariant) {
+  // A Figures 5.6-5.11 registration at a tiny profile: the contended sweep
+  // underneath must make the emitted JSON independent of its worker-thread
+  // count (the ContendedRunner merge contract, observed end to end).
+  const Experiment experiment = bench::make_fig5_7();
+  RunContext serial;
+  serial.scale = 0.05;
+  serial.replications = 2;
+  serial.contended_threads = 1;
+  RunContext parallel = serial;
+  parallel.contended_threads = 8;
+  EXPECT_EQ(experiment.run(serial).to_json().dump(),
+            experiment.run(parallel).to_json().dump());
+}
+
 }  // namespace
 }  // namespace wlgen::exp

@@ -277,12 +277,70 @@ TEST(NfsModelTest, ContentionGrowsResponseTime) {
   EXPECT_GT(elapsed[1], elapsed[0] * 1.5);
 }
 
-TEST(NfsModelTest, ResetStatsClearsCounters) {
+TEST(NfsModelTest, ColdFirstReadDoesNotArmReadahead) {
+  // Read-ahead arms only on a *proven* sequential stream (a continuation at
+  // offset > 0) — a file's cold first access must not prefetch.
   sim::Simulation sim;
   NfsModel nfs(sim);
   run_op(sim, nfs, read_op(1, 0, 1024));
+  EXPECT_EQ(nfs.readahead_count(), 0u);
+  EXPECT_EQ(nfs.server_disk().completed(), 1u);
+}
+
+TEST(NfsModelTest, SequentialContinuationPrefetchesTheNextBlock) {
+  sim::Simulation sim;
+  NfsParams params;
+  NfsModel nfs(sim, params);
+  run_op(sim, nfs, read_op(1, 0, params.block_size));  // block 0, cold, no prefetch
+  ASSERT_EQ(nfs.readahead_count(), 0u);
+  // Continuation into block 1: its own fetch plus a background prefetch of
+  // block 2.
+  run_op(sim, nfs, read_op(1, params.block_size, 1024));
+  EXPECT_EQ(nfs.readahead_count(), 1u);
+  EXPECT_EQ(nfs.server_disk().completed(), 3u);
+  // Jumping straight to the prefetched block is a client cache hit: no new
+  // disk I/O, sub-millisecond response.
+  const double hit = run_op(sim, nfs, read_op(1, 2 * params.block_size, 1024));
+  EXPECT_EQ(nfs.server_disk().completed(), 3u);
+  EXPECT_LT(hit, 1000.0);
+}
+
+TEST(NfsModelTest, ReadaheadStopsAtEof) {
+  // A two-block file: the continuation into its last block has nothing left
+  // to prefetch (the client holds the attributes and never reads past EOF).
+  sim::Simulation sim;
+  NfsParams params;
+  NfsModel nfs(sim, params);
+  FsOp op = read_op(1, 0, params.block_size);
+  op.file_size = 2 * params.block_size;
+  run_op(sim, nfs, op);
+  op.offset = params.block_size;
+  op.size = 1024;
+  run_op(sim, nfs, op);
+  EXPECT_EQ(nfs.readahead_count(), 0u);
+  EXPECT_EQ(nfs.server_disk().completed(), 2u);
+}
+
+TEST(NfsModelTest, ReadaheadDisabledByParameter) {
+  sim::Simulation sim;
+  NfsParams params;
+  params.readahead_blocks = 0;
+  NfsModel nfs(sim, params);
+  run_op(sim, nfs, read_op(1, 0, params.block_size));
+  run_op(sim, nfs, read_op(1, params.block_size, 1024));
+  EXPECT_EQ(nfs.readahead_count(), 0u);
+  EXPECT_EQ(nfs.server_disk().completed(), 2u);
+}
+
+TEST(NfsModelTest, ResetStatsClearsCounters) {
+  sim::Simulation sim;
+  NfsModel nfs(sim);
+  run_op(sim, nfs, read_op(1, 0, 8192));
+  run_op(sim, nfs, read_op(1, 8192, 1024));  // arms read-ahead
+  ASSERT_GT(nfs.readahead_count(), 0u);
   nfs.reset_stats();
   EXPECT_EQ(nfs.rpc_count(), 0u);
+  EXPECT_EQ(nfs.readahead_count(), 0u);
   EXPECT_EQ(nfs.client_cache().hits() + nfs.client_cache().misses(), 0u);
   EXPECT_FALSE(nfs.stats_summary().empty());
 }

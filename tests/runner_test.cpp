@@ -1,7 +1,9 @@
-// Tests for the sharded parallel simulation runner: the deterministic
-// partitioning rule, the (time, user) merge contract, and the headline
-// guarantee that shard count and thread count never change the merged
-// usage log or the merged aggregates — bit for bit.
+// Tests for the parallel simulation runners: the deterministic partitioning
+// rule, the (time, user) merge contract, the headline guarantee that shard
+// count and thread count never change the sharded runner's merged usage log
+// or aggregates — bit for bit — and the contended runner's mirror contract:
+// thread count and replication batching never change the merged per-point
+// statistics.
 
 #include <gtest/gtest.h>
 
@@ -9,7 +11,9 @@
 
 #include "core/analysis.h"
 #include "core/presets.h"
+#include "fs/filesystem.h"
 #include "fsmodel/nfs_model.h"
+#include "runner/contended_runner.h"
 #include "runner/sharded_runner.h"
 
 namespace wlgen::runner {
@@ -276,6 +280,156 @@ TEST(ShardedRunner, ShardReportsCoverAllUsersAndOps) {
   }
   EXPECT_EQ(ops, result.total_ops);
   EXPECT_EQ(users, 6u);
+}
+
+// --- contended runner -------------------------------------------------------
+
+ContendedConfig contended_config(std::vector<std::size_t> points, std::size_t replications,
+                                 std::size_t threads) {
+  ContendedConfig config;
+  config.user_points = std::move(points);
+  config.replications = replications;
+  config.threads = threads;
+  config.seed = 2026;
+  config.usim.sessions_per_user = 2;
+  config.population = core::mixed_population(0.5);
+  return config;
+}
+
+void expect_points_identical(const ContendedResult& a, const ContendedResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    const ContendedPoint& x = a.points[p];
+    const ContendedPoint& y = b.points[p];
+    EXPECT_EQ(x.users, y.users);
+    EXPECT_EQ(x.total_ops, y.total_ops);
+    EXPECT_EQ(x.sessions_completed, y.sessions_completed);
+    // Bit-identical floating point: the fold is a fixed (point, replication)
+    // reduction sequence, so these are exact equalities, not tolerances.
+    EXPECT_EQ(x.replication_levels, y.replication_levels);
+    EXPECT_EQ(x.response_per_byte.mean, y.response_per_byte.mean);
+    EXPECT_EQ(x.response_per_byte.half_width, y.response_per_byte.half_width);
+    EXPECT_EQ(x.stats.ops(), y.stats.ops());
+    EXPECT_EQ(x.stats.bytes_moved(), y.stats.bytes_moved());
+    EXPECT_EQ(x.stats.response_us().mean(), y.stats.response_us().mean());
+    EXPECT_EQ(x.stats.response_us().variance(), y.stats.response_us().variance());
+    EXPECT_EQ(x.stats.response_per_byte_us(), y.stats.response_per_byte_us());
+    EXPECT_EQ(x.stats.response_histogram().counts(), y.stats.response_histogram().counts());
+  }
+}
+
+TEST(ContendedRunner, ThreadCountNeverChangesMergedResults) {
+  ContendedRunner serial(contended_config({1, 2, 3}, 2, 1));
+  const ContendedResult r1 = serial.run();
+  ASSERT_GT(r1.total_ops, 0u);
+  for (std::size_t threads : {2u, 8u}) {
+    ContendedRunner parallel(contended_config({1, 2, 3}, 2, threads));
+    const ContendedResult rt = parallel.run();
+    expect_points_identical(r1, rt);
+    EXPECT_EQ(r1.total_ops, rt.total_ops);
+  }
+}
+
+TEST(ContendedRunner, ReplicationBatchingNeverChangesEarlierReplications) {
+  // replication_seed depends only on (root seed, replication index), so a
+  // 4-replication run must reproduce a 2-replication run's levels as its
+  // prefix — adding replications refines the CI without rewriting history.
+  ContendedRunner two(contended_config({2, 3}, 2, 2));
+  ContendedRunner four(contended_config({2, 3}, 4, 2));
+  const ContendedResult r2 = two.run();
+  const ContendedResult r4 = four.run();
+  for (std::size_t p = 0; p < r2.points.size(); ++p) {
+    ASSERT_EQ(r4.points[p].replication_levels.size(), 4u);
+    for (std::size_t r = 0; r < 2; ++r) {
+      EXPECT_EQ(r2.points[p].replication_levels[r], r4.points[p].replication_levels[r]);
+    }
+  }
+}
+
+TEST(ContendedRunner, SweepPointSubsetsReproduceExactly) {
+  // Per-point results depend only on (seed, users, replication) — running a
+  // point alone or inside a larger sweep is indistinguishable.
+  ContendedRunner sweep(contended_config({1, 2, 4}, 2, 2));
+  ContendedRunner alone(contended_config({2}, 2, 1));
+  const ContendedResult full = sweep.run();
+  const ContendedResult single = alone.run();
+  ASSERT_EQ(single.points.size(), 1u);
+  EXPECT_EQ(full.points[1].replication_levels, single.points[0].replication_levels);
+  EXPECT_EQ(full.points[1].stats.response_us().mean(),
+            single.points[0].stats.response_us().mean());
+  EXPECT_EQ(full.points[1].total_ops, single.points[0].total_ops);
+}
+
+TEST(ContendedRunner, MatchesDirectSharedMachineSimulation) {
+  // One replication of an N-user point == the same contended universe built
+  // by hand on the single-Simulation UserSimulator path: the runner
+  // parallelises the paper experiment, it does not approximate it.
+  const std::size_t users = 3;
+  ContendedConfig config = contended_config({users}, 1, 1);
+  const std::uint64_t seed = replication_seed(config.seed, 0);
+  ContendedRunner run(config);
+  const ContendedResult result = run.run();
+
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&simulation] { return simulation.now(); });
+  fsmodel::NfsModel nfs(simulation);
+  core::FscConfig fsc_config;
+  fsc_config.num_users = users;
+  fsc_config.seed = seed;
+  core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
+  const core::CreatedFileSystem manifest = fsc.create();
+  core::UsimConfig usim_config;
+  usim_config.num_users = users;
+  usim_config.sessions_per_user = 2;
+  usim_config.seed = seed;
+  core::UserSimulator usim(simulation, fsys, nfs, manifest, core::mixed_population(0.5),
+                           usim_config);
+  usim.run();
+
+  const core::UsageAnalyzer analyzer(usim.log());
+  const ContendedPoint& point = result.points.at(0);
+  EXPECT_EQ(point.total_ops, usim.total_ops());
+  EXPECT_EQ(point.sessions_completed, usim.sessions_completed());
+  EXPECT_EQ(point.stats.ops(), analyzer.response_stats().count());
+  EXPECT_NEAR(point.stats.response_per_byte_us(), analyzer.response_per_byte_us(), 1e-9);
+}
+
+TEST(ContendedRunner, ReplicationSeedIsAPureFunctionOfRootAndIndex) {
+  EXPECT_EQ(replication_seed(7, 0), replication_seed(7, 0));
+  EXPECT_NE(replication_seed(7, 0), replication_seed(7, 1));
+  EXPECT_NE(replication_seed(7, 0), replication_seed(8, 0));
+}
+
+TEST(ContendedRunner, CrossReplicationCiIsPopulated) {
+  ContendedRunner run(contended_config({2}, 3, 2));
+  const ContendedResult result = run.run();
+  const ContendedPoint& point = result.points.at(0);
+  ASSERT_EQ(point.response_per_byte.n, 3u);
+  EXPECT_GT(point.response_per_byte.mean, 0.0);
+  EXPECT_GT(point.response_per_byte.half_width, 0.0);
+  // The pooled level and the replication-mean level agree loosely (they are
+  // different estimators of the same quantity).
+  EXPECT_NEAR(point.stats.response_per_byte_us(), point.response_per_byte.mean,
+              point.response_per_byte.mean);
+  // Execution accounting covers the whole (point x replication) grid.
+  ASSERT_EQ(result.replications.size(), 3u);
+  for (const auto& rep : result.replications) {
+    EXPECT_GT(rep.ops, 0u);
+    EXPECT_GT(rep.events, 0u);
+  }
+}
+
+TEST(ContendedRunner, ValidatesConfigurationAndRunsOnce) {
+  ContendedConfig no_points;
+  EXPECT_THROW(ContendedRunner{no_points}, std::invalid_argument);
+  ContendedConfig zero_user = contended_config({1, 0}, 1, 1);
+  EXPECT_THROW(ContendedRunner{zero_user}, std::invalid_argument);
+  ContendedConfig no_reps = contended_config({1}, 0, 1);
+  EXPECT_THROW(ContendedRunner{no_reps}, std::invalid_argument);
+  ContendedRunner run(contended_config({1}, 1, 1));
+  run.run();
+  EXPECT_THROW(run.run(), std::logic_error);
 }
 
 }  // namespace

@@ -114,6 +114,74 @@ TEST(HistogramTest, FromDataSpansRange) {
   EXPECT_THROW(Histogram::from_data({}, 4), std::invalid_argument);
 }
 
+// All-equal data (a constant distribution, a single sample) must widen to
+// the documented [lo, lo + 1) fallback instead of throwing on hi == lo, with
+// every observation landing in bin 0.
+TEST(HistogramTest, FromDataAllEqualWidensToUnitRange) {
+  const auto h = Histogram::from_data({5.0, 5.0, 5.0}, 4);
+  EXPECT_DOUBLE_EQ(h.low(), 5.0);
+  EXPECT_DOUBLE_EQ(h.high(), 6.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.counts()[0], 3.0);
+  for (std::size_t b = 1; b < h.bin_count(); ++b) EXPECT_DOUBLE_EQ(h.counts()[b], 0.0);
+
+  const auto single = Histogram::from_data({-2.5}, 2);
+  EXPECT_DOUBLE_EQ(single.low(), -2.5);
+  EXPECT_DOUBLE_EQ(single.high(), -1.5);
+  EXPECT_EQ(single.total(), 1u);
+}
+
+// --- cross-replication mean/CI (the contended runner's summary) -------------
+
+TEST(MeanCiTest, MatchesStudentTByHand) {
+  // {1,2,3}: mean 2, sample sd 1, t_{2, .975} = 4.303.
+  const MeanCi ci = mean_confidence_interval({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+  EXPECT_EQ(ci.n, 3u);
+  EXPECT_NEAR(ci.half_width, 4.303 / std::sqrt(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(ci.lo(), ci.mean - ci.half_width);
+  EXPECT_DOUBLE_EQ(ci.hi(), ci.mean + ci.half_width);
+
+  // Two samples: df = 1, t = 12.706; sample sd of {10, 14} is 2*sqrt(2).
+  const MeanCi two = mean_confidence_interval({10.0, 14.0});
+  EXPECT_DOUBLE_EQ(two.mean, 12.0);
+  EXPECT_NEAR(two.half_width, 12.706 * 2.0 * std::sqrt(2.0) / std::sqrt(2.0), 1e-9);
+}
+
+TEST(MeanCiTest, ConfidenceLevelsOrderAndValidate) {
+  const std::vector<double> data = {3.0, 5.0, 4.0, 6.0, 2.0};
+  const MeanCi c90 = mean_confidence_interval(data, 0.90);
+  const MeanCi c95 = mean_confidence_interval(data, 0.95);
+  const MeanCi c99 = mean_confidence_interval(data, 0.99);
+  EXPECT_LT(c90.half_width, c95.half_width);
+  EXPECT_LT(c95.half_width, c99.half_width);
+  EXPECT_DOUBLE_EQ(c90.mean, c95.mean);
+  EXPECT_THROW(mean_confidence_interval(data, 0.50), std::invalid_argument);
+  EXPECT_THROW(mean_confidence_interval({}, 0.95), std::invalid_argument);
+}
+
+TEST(MeanCiTest, SingleReplicationHasZeroWidth) {
+  const MeanCi one = mean_confidence_interval({7.5});
+  EXPECT_DOUBLE_EQ(one.mean, 7.5);
+  EXPECT_DOUBLE_EQ(one.half_width, 0.0);
+  EXPECT_EQ(one.n, 1u);
+  // An unsupported confidence is rejected even when n == 1.
+  EXPECT_THROW(mean_confidence_interval({7.5}, 0.42), std::invalid_argument);
+}
+
+TEST(MeanCiTest, LargeSampleUsesNormalApproximation) {
+  std::vector<double> data;
+  for (int i = 0; i < 64; ++i) data.push_back(static_cast<double>(i % 8));
+  const MeanCi ci = mean_confidence_interval(data);
+  double mean = 0.0;
+  for (double v : data) mean += v;
+  mean /= 64.0;
+  double ss = 0.0;
+  for (double v : data) ss += (v - mean) * (v - mean);
+  const double se = std::sqrt(ss / 63.0 / 64.0);
+  EXPECT_NEAR(ci.half_width, 1.960 * se, 1e-12);
+}
+
 // Same-geometry merge must equal single-pass accumulation exactly — the
 // sharded runner folds per-user histograms and relies on bin counts being
 // integer-valued doubles (exact addition, any fold order).

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <set>
 
+#include "util/args.h"
 #include "util/ascii_plot.h"
 #include "util/json.h"
 #include "util/numeric.h"
@@ -360,6 +361,64 @@ TEST(Json, LookupHelpers) {
   EXPECT_EQ(doc.find("b"), nullptr);
   EXPECT_THROW(doc.at("b"), std::runtime_error);
   EXPECT_THROW(doc.at("a").as_string(), std::runtime_error);
+}
+
+// --- CLI argument parser ----------------------------------------------------
+
+TEST(Args, PositionalsAndKeyValuePairs) {
+  const Args args = Args::parse({"run", "--users", "4", "--model", "nfs", "extra"});
+  EXPECT_EQ(args.positional, (std::vector<std::string>{"run", "extra"}));
+  EXPECT_EQ(args.get("model", ""), "nfs");
+  EXPECT_EQ(args.count("users", 1), 4u);
+  EXPECT_EQ(args.count("absent", 9), 9u);
+}
+
+TEST(Args, EqualsFormIsAlwaysUnambiguous) {
+  const Args args = Args::parse({"--users=6", "--out=dir with spaces", "--scale=0.25"});
+  EXPECT_EQ(args.count("users", 1), 6u);
+  EXPECT_EQ(args.get("out", ""), "dir with spaces");
+  EXPECT_DOUBLE_EQ(args.number("scale", 1.0), 0.25);
+}
+
+TEST(Args, BooleanFlagsDoNotSwallowTheNextToken) {
+  // The historical bug: `experiments --check fig5_1` ate the positional.
+  const Args args = Args::parse({"--check", "fig5_1", "--verbose"}, {"check", "verbose"});
+  EXPECT_TRUE(args.boolean("check"));
+  EXPECT_TRUE(args.boolean("verbose"));
+  EXPECT_EQ(args.positional, (std::vector<std::string>{"fig5_1"}));
+  EXPECT_THROW(Args::parse({"--check=yes"}, {"check"}), std::invalid_argument);
+}
+
+TEST(Args, TrailingAndValuelessFlagsActAsBooleans) {
+  const Args args = Args::parse({"--verify", "--log"});
+  EXPECT_TRUE(args.boolean("verify"));
+  EXPECT_TRUE(args.boolean("log"));
+}
+
+TEST(Args, CountRejectsNegativeFractionalAndMalformedValues) {
+  // `--users -1` used to static_cast a negative double to std::size_t (UB).
+  EXPECT_THROW(Args::parse({"--users", "-1"}).count("users", 1), std::invalid_argument);
+  EXPECT_THROW(Args::parse({"--users=1.5"}).count("users", 1), std::invalid_argument);
+  EXPECT_THROW(Args::parse({"--users", "abc"}).count("users", 1), std::invalid_argument);
+  EXPECT_THROW(Args::parse({"--users="}).count("users", 1), std::invalid_argument);
+  // Out-of-range magnitudes are errors too — never a float-to-integer cast.
+  EXPECT_THROW(Args::parse({"--users", "1e20"}).count("users", 1), std::invalid_argument);
+  EXPECT_THROW(Args::parse({"--users", "20000000000000000000"}).count("users", 1),
+               std::invalid_argument);
+  EXPECT_EQ(Args::parse({"--users", "0"}).count("users", 1), 0u);
+}
+
+TEST(Args, NumberAcceptsNegativesButRejectsGarbage) {
+  EXPECT_DOUBLE_EQ(Args::parse({"--markov", "-1"}).number("markov", 0.0), -1.0);
+  EXPECT_THROW(Args::parse({"--markov", "x"}).number("markov", 0.0), std::invalid_argument);
+}
+
+TEST(Args, RequireKnownNamesTheMisspelledFlag) {
+  // `--chek fig5_1` must not silently swallow a token into a key nobody
+  // reads — the command's whitelist catches the typo.
+  const Args args = Args::parse({"--chek", "fig5_1"});
+  EXPECT_THROW(args.require_known({"check", "only"}), std::invalid_argument);
+  Args::parse({"--check"}, {"check"}).require_known({"check", "only"});  // must not throw
 }
 
 }  // namespace
