@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# check_docs.sh — executes every ```sh fenced block in README.md (in order,
+# from the repo root) so the documented quickstart can never rot.  Blocks
+# tagged with any other language (```text, ```ini, ...) are display-only and
+# are not executed.
+#
+# Usage:  bench/check_docs.sh [README.md]
+# Also exposed as the `check_docs` CMake target and run by CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+readme="${1:-README.md}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+awk -v dir="$workdir" '
+  /^```sh[ \t]*$/ { in_block = 1; n += 1; next }
+  /^```/          { in_block = 0; next }
+  in_block        { print >> sprintf("%s/block_%03d.sh", dir, n) }
+' "$readme"
+
+shopt -s nullglob
+blocks=("$workdir"/block_*.sh)
+if [ "${#blocks[@]}" -eq 0 ]; then
+  echo "check_docs: no \`\`\`sh blocks found in $readme" >&2
+  exit 1
+fi
+
+for block in "${blocks[@]}"; do
+  echo "== check_docs: $(basename "$block") =="
+  sed 's/^/   | /' "$block"
+  bash -euo pipefail "$block"
+done
+echo "check_docs: ${#blocks[@]} fenced sh block(s) from $readme executed OK"

@@ -1,5 +1,6 @@
 #include "core/presets.h"
 
+#include "core/spec.h"
 #include "dist/basic.h"
 
 namespace wlgen::core {
@@ -106,6 +107,13 @@ UserType with_access_size_mean(const UserType& base, double mean_bytes) {
   UserType u = base;
   u.access_size_bytes = exp_dist(mean_bytes);
   return u;
+}
+
+void apply_gds_overrides(Population& population, const DistributionSpecifier& gds) {
+  for (auto& group : population.groups) {
+    if (gds.contains("think_time")) group.type.think_time_us = gds.get("think_time");
+    if (gds.contains("access_size")) group.type.access_size_bytes = gds.get("access_size");
+  }
 }
 
 }  // namespace wlgen::core

@@ -7,6 +7,8 @@
 
 namespace wlgen::core {
 
+class DistributionSpecifier;
+
 /// Paper Table 5.1 — "File characterization by file category": the nine
 /// categories with their mean file sizes and fractions of all files.  The
 /// paper specifies only means and "assume[s] that the measures are
@@ -45,5 +47,11 @@ Population mixed_population(double heavy_fraction);
 /// replaced by an exponential of the given mean — the Figure 5.12 sweep
 /// ("from a mean of 128 bytes to 2048 bytes").
 UserType with_access_size_mean(const UserType& base, double mean_bytes);
+
+/// Applies GDS overrides to every group of `population`: when `gds` names
+/// "think_time" and/or "access_size", those distributions replace the
+/// groups' presets.  The re-parameterisation hook shared by `wlgen run
+/// --spec` and the scenario subsystem's `[workload]` overrides.
+void apply_gds_overrides(Population& population, const DistributionSpecifier& gds);
 
 }  // namespace wlgen::core

@@ -44,6 +44,7 @@ class WholeFileCacheModel final : public FileSystemModel {
   void reset_stats() override;
 
   const LruCache& file_cache() const { return file_cache_; }
+  const WholeFileParams& params() const { return params_; }
   std::uint64_t fetches() const { return fetches_; }
   std::uint64_t stores() const { return stores_; }
 

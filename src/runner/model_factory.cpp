@@ -1,12 +1,141 @@
 #include "runner/model_factory.h"
 
+#include <cmath>
+#include <functional>
+#include <map>
 #include <stdexcept>
 
 #include "fsmodel/local_model.h"
 #include "fsmodel/nfs_model.h"
 #include "fsmodel/wholefile_model.h"
+#include "util/strings.h"
 
 namespace wlgen::runner {
+
+namespace {
+
+/// How one override value is written into a params struct.  Each setter
+/// validates the domain it needs (integral, boolean) before narrowing.
+template <typename Params>
+using Setter = std::function<void(Params&, double)>;
+
+[[noreturn]] void value_fail(const std::string& key, double value, const char* expected) {
+  throw std::invalid_argument("model parameter '" + key + "' expects " + expected + ", got " +
+                              std::to_string(value));
+}
+
+double require_integral(const std::string& key, double value) {
+  if (value < 0.0 || std::floor(value) != value) {
+    value_fail(key, value, "a non-negative integer");
+  }
+  return value;
+}
+
+template <typename Params, typename Field>
+Setter<Params> int_field(Field Params::* field) {
+  return [field](Params& params, double value) {
+    params.*field = static_cast<Field>(value);
+  };
+}
+
+template <typename Params>
+Setter<Params> double_field(double Params::* field) {
+  return [field](Params& params, double value) { params.*field = value; };
+}
+
+template <typename Params>
+Setter<Params> bool_field(bool Params::* field) {
+  return [field](Params& params, double value) { params.*field = value != 0.0; };
+}
+
+/// Key → (setter, needs-integral, is-boolean) table for one params struct.
+template <typename Params>
+struct ParamTable {
+  struct Row {
+    Setter<Params> set;
+    bool integral = false;
+    bool boolean = false;
+  };
+  std::map<std::string, Row> rows;
+
+  void apply(Params& params, const std::string& model, const ModelParamOverride& o) const {
+    const auto it = rows.find(o.key);
+    if (it == rows.end()) {
+      std::vector<std::string> keys;
+      for (const auto& [key, row] : rows) keys.push_back(key);
+      throw std::invalid_argument("unknown parameter '" + o.key + "' for model '" + model +
+                                  "' (valid: " + util::join(keys, ", ") + ")");
+    }
+    if (it->second.boolean && o.value != 0.0 && o.value != 1.0) {
+      value_fail(o.key, o.value, "a boolean (0 or 1)");
+    }
+    if (it->second.integral) require_integral(o.key, o.value);
+    it->second.set(params, o.value);
+  }
+
+  std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    for (const auto& [key, row] : rows) out.push_back(key);
+    return out;
+  }
+};
+
+const ParamTable<fsmodel::NfsParams>& nfs_params_table() {
+  using P = fsmodel::NfsParams;
+  static const ParamTable<P> table{{
+      {"block_size", {int_field<P>(&P::block_size), true, false}},
+      {"client_cache_blocks", {int_field<P>(&P::client_cache_blocks), true, false}},
+      {"client_attr_entries", {int_field<P>(&P::client_attr_entries), true, false}},
+      {"server_cache_blocks", {int_field<P>(&P::server_cache_blocks), true, false}},
+      {"server_attr_entries", {int_field<P>(&P::server_attr_entries), true, false}},
+      {"client_overhead_us", {double_field<P>(&P::client_overhead_us), false, false}},
+      {"client_hit_us", {double_field<P>(&P::client_hit_us), false, false}},
+      {"client_byte_copy_us_per_kb",
+       {double_field<P>(&P::client_byte_copy_us_per_kb), false, false}},
+      {"server_cpu_us", {double_field<P>(&P::server_cpu_us), false, false}},
+      {"server_cache_hit_us", {double_field<P>(&P::server_cache_hit_us), false, false}},
+      {"rpc_request_bytes", {int_field<P>(&P::rpc_request_bytes), true, false}},
+      {"rpc_reply_meta_bytes", {int_field<P>(&P::rpc_reply_meta_bytes), true, false}},
+      {"async_writes", {bool_field<P>(&P::async_writes), false, true}},
+      {"readahead_blocks", {int_field<P>(&P::readahead_blocks), true, false}},
+      {"num_clients", {int_field<P>(&P::num_clients), true, false}},
+  }};
+  return table;
+}
+
+const ParamTable<fsmodel::LocalParams>& local_params_table() {
+  using P = fsmodel::LocalParams;
+  static const ParamTable<P> table{{
+      {"block_size", {int_field<P>(&P::block_size), true, false}},
+      {"buffer_cache_blocks", {int_field<P>(&P::buffer_cache_blocks), true, false}},
+      {"inode_cache_entries", {int_field<P>(&P::inode_cache_entries), true, false}},
+      {"syscall_overhead_us", {double_field<P>(&P::syscall_overhead_us), false, false}},
+      {"cache_hit_us", {double_field<P>(&P::cache_hit_us), false, false}},
+      {"byte_copy_us_per_kb", {double_field<P>(&P::byte_copy_us_per_kb), false, false}},
+      {"async_writes", {bool_field<P>(&P::async_writes), false, true}},
+  }};
+  return table;
+}
+
+const ParamTable<fsmodel::WholeFileParams>& wholefile_params_table() {
+  using P = fsmodel::WholeFileParams;
+  static const ParamTable<P> table{{
+      {"cache_files", {int_field<P>(&P::cache_files), true, false}},
+      {"open_check_us", {double_field<P>(&P::open_check_us), false, false}},
+      {"local_io_us", {double_field<P>(&P::local_io_us), false, false}},
+      {"byte_copy_us_per_kb", {double_field<P>(&P::byte_copy_us_per_kb), false, false}},
+      {"server_cpu_us", {double_field<P>(&P::server_cpu_us), false, false}},
+      {"rpc_request_bytes", {int_field<P>(&P::rpc_request_bytes), true, false}},
+      {"max_transfer_bytes", {int_field<P>(&P::max_transfer_bytes), true, false}},
+  }};
+  return table;
+}
+
+[[noreturn]] void unknown_model(const std::string& name) {
+  throw std::invalid_argument("unknown model '" + name + "' (nfs|local|wholefile)");
+}
+
+}  // namespace
 
 ModelFactory nfs_model_factory() {
   return [](sim::Simulation& sim) { return std::make_unique<fsmodel::NfsModel>(sim); };
@@ -22,11 +151,40 @@ ModelFactory wholefile_model_factory() {
 }
 
 ModelFactory model_factory_by_name(const std::string& name) {
-  if (name == "nfs") return nfs_model_factory();
-  if (name == "local") return local_model_factory();
-  if (name == "wholefile") return wholefile_model_factory();
-  throw std::invalid_argument("model_factory_by_name: unknown model '" + name +
-                              "' (nfs|local|wholefile)");
+  return model_factory_by_name(name, {});
+}
+
+ModelFactory model_factory_by_name(const std::string& name,
+                                   const std::vector<ModelParamOverride>& overrides) {
+  if (name == "nfs") {
+    fsmodel::NfsParams params;
+    for (const auto& o : overrides) nfs_params_table().apply(params, name, o);
+    return [params](sim::Simulation& sim) {
+      return std::make_unique<fsmodel::NfsModel>(sim, params);
+    };
+  }
+  if (name == "local") {
+    fsmodel::LocalParams params;
+    for (const auto& o : overrides) local_params_table().apply(params, name, o);
+    return [params](sim::Simulation& sim) {
+      return std::make_unique<fsmodel::LocalDiskModel>(sim, params);
+    };
+  }
+  if (name == "wholefile") {
+    fsmodel::WholeFileParams params;
+    for (const auto& o : overrides) wholefile_params_table().apply(params, name, o);
+    return [params](sim::Simulation& sim) {
+      return std::make_unique<fsmodel::WholeFileCacheModel>(sim, params);
+    };
+  }
+  unknown_model(name);
+}
+
+std::vector<std::string> model_param_keys(const std::string& name) {
+  if (name == "nfs") return nfs_params_table().keys();
+  if (name == "local") return local_params_table().keys();
+  if (name == "wholefile") return wholefile_params_table().keys();
+  unknown_model(name);
 }
 
 }  // namespace wlgen::runner

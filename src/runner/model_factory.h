@@ -24,4 +24,26 @@ ModelFactory wholefile_model_factory();
 /// "nfs" | "local" | "wholefile"; throws std::invalid_argument otherwise.
 ModelFactory model_factory_by_name(const std::string& name);
 
+/// One named parameter override on a model's params struct (e.g.
+/// {"readahead_blocks", 2} on "nfs").  Values are carried as doubles;
+/// integral parameters reject fractional values and boolean parameters
+/// accept only 0 or 1, so a typo fails loudly instead of truncating.
+struct ModelParamOverride {
+  std::string key;
+  double value = 0.0;
+};
+
+/// Like model_factory_by_name, with `overrides` applied to the model's
+/// default parameters before construction — the scenario subsystem's
+/// `<model>.<param> = value` plumbing.  Throws std::invalid_argument on an
+/// unknown model, an unknown parameter key (the message lists the valid
+/// keys), or an out-of-domain value.
+ModelFactory model_factory_by_name(const std::string& name,
+                                   const std::vector<ModelParamOverride>& overrides);
+
+/// The parameter keys overridable for `name`, sorted — reference for error
+/// messages, docs and tests.  Throws std::invalid_argument on an unknown
+/// model name.
+std::vector<std::string> model_param_keys(const std::string& name);
+
 }  // namespace wlgen::runner

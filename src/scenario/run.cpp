@@ -1,0 +1,287 @@
+#include "scenario/run.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/fsc.h"
+#include "core/presets.h"
+#include "core/replay.h"
+#include "core/usim.h"
+#include "fs/filesystem.h"
+#include "runner/contended_runner.h"
+#include "runner/sharded_runner.h"
+#include "util/svg.h"
+#include "util/table.h"
+
+namespace wlgen::scenario {
+
+namespace {
+
+/// Shortest exact decimal text of a double: equal bits => equal text, so
+/// digests built from it inherit the runners' bit-identical merge
+/// guarantee.
+std::string exact(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+runner::RunnerStats stats_of_log(const core::UsageLog& log) {
+  runner::RunnerStats stats;
+  for (const auto& record : log.records()) stats.add(record);
+  return stats;
+}
+
+/// One serial shared-machine USIM run — the classic single-Simulation path,
+/// used by replay mode both to record the trace and to generate the
+/// synthetic comparison leg.
+core::UsageLog generate_shared(const ScenarioSpec& spec, const ModelChoice& model,
+                               std::size_t users, std::uint64_t& sessions_out) {
+  sim::Simulation simulation;
+  fs::SimulatedFileSystem fsys;
+  fsys.set_clock([&simulation] { return simulation.now(); });
+  auto fsmodel = model.factory()(simulation);
+
+  core::FscConfig fsc_config;
+  fsc_config.num_users = users;
+  fsc_config.seed = spec.seed;
+  core::FileSystemCreator fsc(fsys, core::di86_file_profiles(), fsc_config);
+  const core::CreatedFileSystem manifest = fsc.create();
+
+  core::UsimConfig config = spec.usim_config();
+  config.num_users = users;
+  config.seed = spec.seed;
+  core::UserSimulator usim(simulation, fsys, *fsmodel, manifest, spec.population(), config);
+  usim.run();
+  sessions_out = usim.sessions_completed();
+  return usim.take_log();
+}
+
+ModelOutcome run_sharded(const ScenarioSpec& spec, const ModelChoice& model,
+                         std::size_t threads) {
+  runner::RunnerConfig config;
+  config.num_users = spec.user_points.front();
+  config.shards = spec.shards;
+  config.threads = threads;
+  config.seed = spec.seed;
+  config.usim = spec.usim_config();
+  config.population = spec.population();
+  config.collect_log = spec.collect_log;
+  config.model_factory = model.factory();
+
+  runner::ShardedRunner run(std::move(config));
+  runner::RunnerResult result = run.run();
+
+  ModelOutcome outcome;
+  outcome.model = model.name;
+  PointOutcome point;
+  point.users = spec.user_points.front();
+  point.stats = result.stats;
+  point.response_per_byte = {result.stats.response_per_byte_us(), 0.0, 1};
+  point.ops = result.total_ops;
+  point.sessions = result.sessions_completed;
+  outcome.points.push_back(std::move(point));
+  outcome.log = std::move(result.log);
+  return outcome;
+}
+
+ModelOutcome run_contended(const ScenarioSpec& spec, const ModelChoice& model,
+                           std::size_t threads) {
+  runner::ContendedConfig config;
+  config.user_points = spec.user_points;
+  config.replications = spec.replications;
+  config.threads = threads;
+  config.seed = spec.seed;
+  config.confidence = spec.confidence;
+  config.usim = spec.usim_config();
+  config.population = spec.population();
+  config.model_factory = model.factory();
+
+  runner::ContendedRunner run(std::move(config));
+  const runner::ContendedResult result = run.run();
+
+  ModelOutcome outcome;
+  outcome.model = model.name;
+  for (const auto& p : result.points) {
+    PointOutcome point;
+    point.users = p.users;
+    point.stats = p.stats;
+    point.response_per_byte = p.response_per_byte;
+    point.ops = p.total_ops;
+    point.sessions = p.sessions_completed;
+    outcome.points.push_back(std::move(point));
+  }
+  return outcome;
+}
+
+ModelOutcome run_replay(const ScenarioSpec& spec, const ModelChoice& model,
+                        const core::UsageLog& trace, std::size_t trace_users,
+                        std::uint64_t trace_sessions) {
+  ModelOutcome outcome;
+  outcome.model = model.name;
+
+  sim::Simulation simulation;
+  auto fsmodel = model.factory()(simulation);
+  core::TraceReplayer replayer(simulation, *fsmodel, trace);
+  core::TraceReplayer::Options options;
+  options.preserve_timing = !spec.closed_loop;
+  options.time_scale = spec.time_scale;
+  core::UsageLog replayed = replayer.run(options);
+
+  PointOutcome replay_point;
+  replay_point.label = spec.closed_loop ? "trace replay (closed loop)"
+                                        : "trace replay (open loop)";
+  replay_point.users = trace_users;
+  replay_point.stats = stats_of_log(replayed);
+  replay_point.response_per_byte = {replay_point.stats.response_per_byte_us(), 0.0, 1};
+  replay_point.ops = replayer.ops_replayed();
+  replay_point.sessions = trace_sessions;
+  outcome.points.push_back(std::move(replay_point));
+  outcome.log = std::move(replayed);
+
+  if (spec.synthetic_users > 0) {
+    // The paper's section 2.1 contrast: the generator can answer the
+    // "what about N users?" question the trace cannot.
+    std::uint64_t sessions = 0;
+    const core::UsageLog synthetic =
+        generate_shared(spec, model, spec.synthetic_users, sessions);
+    PointOutcome point;
+    point.label = "synthetic";
+    point.users = spec.synthetic_users;
+    point.stats = stats_of_log(synthetic);
+    point.response_per_byte = {point.stats.response_per_byte_us(), 0.0, 1};
+    point.ops = synthetic.size();
+    point.sessions = sessions;
+    outcome.points.push_back(std::move(point));
+  }
+  return outcome;
+}
+
+void append_digest(std::ostringstream& out, const ModelOutcome& model) {
+  out << "model " << model.model << "\n";
+  for (const auto& p : model.points) {
+    out << "point users=" << p.users;
+    if (!p.label.empty()) out << " label=\"" << p.label << "\"";
+    out << " ops=" << p.ops << " sessions=" << p.sessions << " bytes="
+        << p.stats.bytes_moved() << "\n";
+    const auto& r = p.stats.response_us();
+    out << "  response_us count=" << r.count() << " mean=" << exact(r.mean())
+        << " stddev=" << exact(r.stddev()) << " min=" << exact(r.min())
+        << " max=" << exact(r.max()) << "\n";
+    const auto& a = p.stats.access_size();
+    out << "  access_size count=" << a.count() << " mean=" << exact(a.mean())
+        << " stddev=" << exact(a.stddev()) << "\n";
+    out << "  response_per_byte pooled=" << exact(p.stats.response_per_byte_us())
+        << " mean=" << exact(p.response_per_byte.mean)
+        << " ci_half=" << exact(p.response_per_byte.half_width) << "\n";
+  }
+}
+
+std::string render_report(const ScenarioSpec& spec, const std::vector<ModelOutcome>& models) {
+  std::ostringstream out;
+  out << "scenario: " << spec.name << "  (mode: " << to_string(spec.mode) << ", seed: "
+      << spec.seed << ")\n";
+  if (!spec.description.empty()) out << spec.description << "\n";
+  out << "\n";
+
+  // Label the interval with the level the scenario configured (0.90/0.95/0.99).
+  const std::string ci_header =
+      "mean +/- ci" + std::to_string(static_cast<int>(spec.confidence * 100.0 + 0.5));
+  for (const auto& model : models) {
+    out << "--- model: " << model.model << " ---\n";
+    util::TextTable table({"point", "users", "us/byte", ci_header,
+                           "response us mean(std)", "syscalls", "sessions"});
+    for (const auto& p : model.points) {
+      table.add_row({p.label.empty() ? "-" : p.label, std::to_string(p.users),
+                     util::TextTable::num(p.stats.response_per_byte_us(), 4),
+                     util::TextTable::num(p.response_per_byte.mean, 4) + " +/- " +
+                         util::TextTable::num(p.response_per_byte.half_width, 4),
+                     p.stats.response_us().mean_std_string(), std::to_string(p.ops),
+                     std::to_string(p.sessions)});
+    }
+    out << table.render() << "\n";
+  }
+
+  if (models.size() > 1) {
+    // Cross-backend comparison over the last (largest) point — the paper's
+    // section 5.3 "compare" step.
+    util::TextTable compare({"model", "us/byte", "mean resp us", "syscalls"});
+    for (const auto& model : models) {
+      const auto& p = model.points.back();
+      compare.add_row({model.model, util::TextTable::num(p.stats.response_per_byte_us(), 4),
+                       util::TextTable::num(p.stats.response_us().mean(), 0),
+                       std::to_string(p.ops)});
+    }
+    out << "--- comparison (final point) ---\n" << compare.render();
+  }
+  return out.str();
+}
+
+}  // namespace
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t threads = options.threads.value_or(spec.threads);
+
+  ScenarioOutcome outcome;
+
+  // Replay mode shares one trace across every backend: record it on the
+  // first model (or load it) so the comparison replays identical input.
+  core::UsageLog trace;
+  std::size_t trace_users = 0;
+  std::uint64_t trace_sessions = 0;
+  if (spec.mode == RunMode::replay) {
+    if (spec.trace_file.empty()) {
+      trace_users = spec.user_points.front();
+      trace = generate_shared(spec, spec.models.front(), trace_users, trace_sessions);
+    } else {
+      trace = core::UsageLog::parse(util::read_text_file(spec.trace_file));
+      // Recover the recorded population/session shape from the trace itself.
+      std::set<std::pair<std::uint32_t, std::uint32_t>> sessions;
+      for (const auto& record : trace.records()) {
+        trace_users = std::max<std::size_t>(trace_users, record.user + 1);
+        sessions.insert({record.user, record.session});
+      }
+      trace_sessions = sessions.size();
+    }
+  }
+
+  for (const auto& model : spec.models) {
+    switch (spec.mode) {
+      case RunMode::sharded:
+        outcome.models.push_back(run_sharded(spec, model, threads));
+        break;
+      case RunMode::contended:
+        outcome.models.push_back(run_contended(spec, model, threads));
+        break;
+      case RunMode::replay:
+        outcome.models.push_back(run_replay(spec, model, trace, trace_users, trace_sessions));
+        break;
+    }
+  }
+
+  std::ostringstream digest;
+  digest << "scenario " << spec.name << " mode=" << to_string(spec.mode) << " seed="
+         << spec.seed << "\n";
+  for (const auto& model : outcome.models) append_digest(digest, model);
+  outcome.stats_digest = digest.str();
+  outcome.report = render_report(spec, outcome.models);
+
+  if (!spec.log_file.empty()) {
+    util::write_text_file(spec.log_file, outcome.models.front().log.serialize());
+  }
+  if (!spec.stats_file.empty()) {
+    util::write_text_file(spec.stats_file, outcome.stats_digest);
+  }
+
+  outcome.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return outcome;
+}
+
+}  // namespace wlgen::scenario

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/usage_log.h"
+#include "runner/stats.h"
+#include "scenario/spec.h"
+#include "stats/summary.h"
+
+namespace wlgen::scenario {
+
+/// Execution knobs that belong to the invocation, not the scenario file.
+struct RunOptions {
+  /// Overrides ScenarioSpec::threads when set (the CLI --threads flag).
+  /// Purely an execution knob: results are bit-identical either way.
+  std::optional<std::size_t> threads;
+};
+
+/// Merged statistics of one measured point (one load point of a contended
+/// sweep, the whole population of a sharded run, or one leg of a replay
+/// A/B).  All fields follow the runners' merge contracts: bit-identical for
+/// any thread/shard count.
+struct PointOutcome {
+  std::string label;    ///< "" for plain points; "trace replay", "synthetic" for replay legs
+  std::size_t users = 0;
+  runner::RunnerStats stats;
+  /// Cross-replication mean/CI of response-per-byte (contended mode;
+  /// half_width 0 elsewhere, mean = pooled level).
+  stats::MeanCi response_per_byte;
+  std::uint64_t ops = 0;
+  std::uint64_t sessions = 0;
+};
+
+/// Everything one model backend produced.
+struct ModelOutcome {
+  std::string model;
+  std::vector<PointOutcome> points;
+  /// Merged usage log (sharded with collect_log) or replayed log (replay);
+  /// empty otherwise.
+  core::UsageLog log;
+};
+
+/// Result of compiling and executing one scenario.
+struct ScenarioOutcome {
+  std::vector<ModelOutcome> models;  ///< model order of the spec
+  double wall_ms = 0.0;
+  /// Rendered human-readable report (per-model tables plus a comparison
+  /// table for multi-model scenarios).
+  std::string report;
+  /// Deterministic text serialization of every merged statistic — the
+  /// artifact `output.stats` writes, and the value tests pin to prove
+  /// thread-count invariance (%.17g doubles: equal bits => equal text).
+  std::string stats_digest;
+};
+
+/// Compiles `spec` onto ShardedRunner / ContendedRunner / TraceReplayer and
+/// executes it.  Writes `output.log` / `output.stats` artifacts when the
+/// spec names them.  Throws std::invalid_argument / std::runtime_error on
+/// unreadable trace/GDS inputs or unwritable outputs.
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& options = {});
+
+}  // namespace wlgen::scenario

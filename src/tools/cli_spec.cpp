@@ -1,0 +1,96 @@
+#include "tools/cli_spec.h"
+
+#include <stdexcept>
+
+namespace wlgen::cli {
+
+const std::vector<util::CommandSpec>& command_specs() {
+  static const std::vector<util::CommandSpec> specs = {
+      {"gds",
+       "<spec-file>",
+       "parse a distribution spec file and report/plot its entries",
+       {
+           {"plot", "NAME", "ASCII-plot the named distribution's density"},
+           {"cdf", "NAME", "print a CDF table for the named distribution"},
+           {"points", "N", "CDF table resolution (default 64)"},
+       }},
+      {"run",
+       "",
+       "generate a synthetic workload and measure it on a file-system model",
+       {
+           {"users", "N", "simultaneous users (default 1)"},
+           {"sessions", "M", "login sessions per user (default 50)"},
+           {"model", "nfs|local|wholefile", "file-system model (default nfs)"},
+           {"heavy", "F", "heavy-user fraction of the population (default 1.0)"},
+           {"seed", "S", "root RNG seed (default 1991)"},
+           {"markov", "P", "Markov work-item persistence in [0,1); negative = independent"},
+           {"pattern", "seq|random|zipf", "block access pattern (default seq)"},
+           {"windows", "W", "concurrent login sessions per user (default 1)"},
+           {"spec", "FILE", "GDS file overriding think_time / access_size"},
+           {"log", "OUT.tsv", "write the usage log (classic and sharded paths)"},
+           {"shards", "K", "run through the sharded runner with K shards"},
+           {"threads", "T", "worker threads (sharded/contended; 0 = hardware)"},
+           {"verify-merge", "", "check the sharded merge-ordering contract"},
+           {"contended", "", "run the shared-machine sweep through the contended runner"},
+           {"users-sweep", "A:B:STEP", "contended load points (default 1:6:1)"},
+           {"replications", "R", "contended replications per load point (default 3)"},
+       }},
+      {"analyze",
+       "<log.tsv>",
+       "per-op and summary statistics of a recorded usage log",
+       {}},
+      {"replay",
+       "<log.tsv>",
+       "replay a recorded trace against a file-system model",
+       {
+           {"model", "M", "target model (default nfs)"},
+           {"closed-loop", "", "issue each op after the previous completes (default: open)"},
+           {"scale", "X", "stretch (>1) or compress (<1) the trace clock"},
+       }},
+      {"experiments",
+       "",
+       "run the registered paper figure/table experiments",
+       {
+           {"only", "id[,id...]", "run only the named experiments"},
+           {"check", "", "grade against paper expectations; exit 1 on FAIL"},
+           {"list", "", "list registered experiments and exit"},
+           {"out", "DIR", "artifact directory (default $WLGEN_OUT or ./artifacts)"},
+           {"scale", "F", "session-count scale factor (default 1.0)"},
+           {"seed", "S", "root RNG seed (default 1991)"},
+           {"threads", "N", "harness worker threads (0 = hardware)"},
+           {"replications", "R", "contended replications per load point (default 3)"},
+           {"verbose", "", "print per-experiment progress"},
+       }},
+      {"scenario",
+       "run <file.scn>...",
+       "execute declarative scenario files (see docs/SCENARIOS.md)",
+       {
+           {"list", "", "list the scenario library and exit"},
+           {"print", "FILE", "parse a scenario and print its resolved spec"},
+           {"dir", "DIR", "scenario library directory for --list (default scenarios)"},
+           {"threads", "N", "override every scenario's thread count (results unchanged)"},
+       }},
+  };
+  return specs;
+}
+
+const util::CommandSpec& command_spec(const std::string& name) {
+  for (const auto& spec : command_specs()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::invalid_argument("unknown command '" + name + "'");
+}
+
+const std::set<std::string>& boolean_flags() {
+  static const std::set<std::string> flags = [] {
+    std::set<std::string> out;
+    for (const auto& spec : command_specs()) {
+      const auto booleans = spec.boolean_flag_names();
+      out.insert(booleans.begin(), booleans.end());
+    }
+    return out;
+  }();
+  return flags;
+}
+
+}  // namespace wlgen::cli

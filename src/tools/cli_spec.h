@@ -1,0 +1,25 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/args.h"
+
+namespace wlgen::cli {
+
+/// The wlgen command table — the single source of truth for what each
+/// subcommand accepts.  Both the parser contract (require_known sets, the
+/// boolean-flag set) and every usage/help string are derived from these
+/// specs, so the CLI's help can never drift from what it parses
+/// (tests/scenario_test.cpp pins the coverage).
+const std::vector<util::CommandSpec>& command_specs();
+
+/// Spec for one command; throws std::invalid_argument on an unknown name.
+const util::CommandSpec& command_spec(const std::string& name);
+
+/// Union of every command's boolean flags (+ the implicit --help) — the set
+/// Args::parse needs so boolean flags never swallow the next token.
+const std::set<std::string>& boolean_flags();
+
+}  // namespace wlgen::cli

@@ -1,30 +1,19 @@
 // wlgen — command-line driver for the user-oriented synthetic workload
-// generator.  Wraps the three paper components plus the analyzer and the
-// trace replayer:
+// generator.  Wraps the three paper components plus the analyzer, the trace
+// replayer, the experiment harness and the declarative scenario subsystem.
 //
-//   wlgen gds <spec-file> [--plot NAME] [--cdf NAME] [--points N]
-//   wlgen run [--users N] [--sessions M] [--model nfs|local|wholefile]
-//             [--heavy F] [--seed S] [--markov P] [--pattern seq|random|zipf]
-//             [--windows W] [--spec FILE] [--log OUT.tsv]
-//             [--shards K] [--threads T] [--verify-merge]
-//             [--contended] [--users-sweep A:B:STEP] [--replications R]
-//   wlgen analyze <log.tsv>
-//   wlgen replay <log.tsv> [--model ...] [--closed-loop] [--scale X]
-//   wlgen experiments [--only id[,id...]] [--check] [--list] [--out DIR]
-//                     [--scale F] [--seed S] [--threads N] [--replications R]
-//                     [--verbose]
+// Usage text is GENERATED from the command table in tools/cli_spec.{h,cpp}
+// — the same specs drive Args::require_known and the boolean-flag set, so
+// the help can never drift from what the parser accepts (run `wlgen --help`
+// or `wlgen <command> --help`; coverage pinned by tests/scenario_test.cpp).
 //
-// --shards routes the run through runner::ShardedRunner (independent user
-// universes, merged deterministically — see DESIGN.md "Sharded runner");
-// --contended routes it through runner::ContendedRunner (shared-machine
-// sweep: all users of a load point contend inside one Simulation, load
-// points x replications fan out over the worker pool — see DESIGN.md
-// "Contended runner"); without either the classic shared-machine
-// single-Simulation path runs.
-//
-// `experiments` runs the registered paper figure/table experiments on the
-// exp:: harness (DESIGN.md "Experiment harness"), writing JSON/SVG artifacts
-// plus EXPERIMENTS.md into --out (default $WLGEN_OUT or ./artifacts).
+// `run --shards` routes through runner::ShardedRunner (independent user
+// universes, merged deterministically — DESIGN.md "Sharded runner");
+// `run --contended` routes through runner::ContendedRunner (shared-machine
+// sweep — DESIGN.md "Contended runner"); without either the classic
+// shared-machine single-Simulation path runs.  `scenario run` compiles
+// declarative `.scn` files onto the same paths (DESIGN.md "Scenario
+// subsystem", reference in docs/SCENARIOS.md).
 //
 // Exit status: 0 on success, 1 on bad usage or I/O failure; `experiments
 // --check` also exits 1 when any experiment's verdict is FAIL.
@@ -47,6 +36,9 @@
 #include "experiments.h"
 #include "runner/contended_runner.h"
 #include "runner/sharded_runner.h"
+#include "scenario/run.h"
+#include "scenario/spec.h"
+#include "tools/cli_spec.h"
 #include "util/args.h"
 #include "util/ascii_plot.h"
 #include "util/strings.h"
@@ -58,27 +50,8 @@ namespace {
 using namespace wlgen;
 using util::Args;
 
-/// Flags that never consume a following token (util::Args boolean set).
-const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags = {"check", "list",        "verbose",
-                                              "contended", "verify-merge", "closed-loop"};
-  return flags;
-}
-
 int usage() {
-  std::cerr <<
-      "usage:\n"
-      "  wlgen gds <spec-file> [--plot NAME] [--cdf NAME] [--points N]\n"
-      "  wlgen run [--users N] [--sessions M] [--model nfs|local|wholefile]\n"
-      "            [--heavy F] [--seed S] [--markov P] [--pattern seq|random|zipf]\n"
-      "            [--windows W] [--spec FILE] [--log OUT.tsv]\n"
-      "            [--shards K] [--threads T] [--verify-merge]\n"
-      "            [--contended] [--users-sweep A:B:STEP] [--replications R]\n"
-      "  wlgen analyze <log.tsv>\n"
-      "  wlgen replay <log.tsv> [--model M] [--closed-loop] [--scale X]\n"
-      "  wlgen experiments [--only id[,id...]] [--check] [--list] [--out DIR]\n"
-      "                    [--scale F] [--seed S] [--threads N] [--replications R]\n"
-      "                    [--verbose]\n";
+  std::cerr << util::render_usage("wlgen", cli::command_specs());
   return 1;
 }
 
@@ -89,7 +62,6 @@ std::unique_ptr<fsmodel::FileSystemModel> make_model(const std::string& name,
 }
 
 int cmd_gds(const Args& args) {
-  args.require_known({"plot", "cdf", "points"});
   if (args.positional.empty()) return usage();
   core::DistributionSpecifier gds;
   gds.load_spec_text(util::read_text_file(args.positional[0]));
@@ -183,33 +155,6 @@ int cmd_run_sharded(const Args& args, std::size_t users, std::size_t sessions,
   return 0;
 }
 
-/// Parses a --users-sweep spec: "N" (one point), "A:B" (step 1) or
-/// "A:B:STEP"; throws std::invalid_argument on malformed or empty sweeps.
-std::vector<std::size_t> parse_users_sweep(const std::string& spec) {
-  const std::vector<std::string> parts = util::split(spec, ':');
-  auto part = [&](std::size_t i) -> std::size_t {
-    const auto v = util::parse_int(parts[i]);
-    if (!v || *v < 0) {
-      throw std::invalid_argument("--users-sweep expects A:B:STEP of non-negative integers, "
-                                  "got '" + spec + "'");
-    }
-    return static_cast<std::size_t>(*v);
-  };
-  if (parts.empty() || parts.size() > 3) {
-    throw std::invalid_argument("--users-sweep expects N, A:B or A:B:STEP, got '" + spec + "'");
-  }
-  const std::size_t lo = part(0);
-  const std::size_t hi = parts.size() >= 2 ? part(1) : lo;
-  const std::size_t step = parts.size() == 3 ? part(2) : 1;
-  if (lo == 0 || hi < lo || step == 0) {
-    throw std::invalid_argument("--users-sweep needs 1 <= A <= B and STEP >= 1, got '" + spec +
-                                "'");
-  }
-  std::vector<std::size_t> points;
-  for (std::size_t users = lo; users <= hi; users += step) points.push_back(users);
-  return points;
-}
-
 /// Contended path: one shared-machine Simulation per (load point x
 /// replication) job, fanned out over the worker pool and merged
 /// deterministically (bit-identical for any --threads choice).
@@ -235,7 +180,7 @@ int cmd_run_contended(const Args& args, std::size_t sessions, std::uint64_t seed
       args.flags.count("users") && !args.flags.count("users-sweep")
           ? args.get("users", "1")
           : "1:6:1";
-  config.user_points = parse_users_sweep(args.get("users-sweep", default_sweep));
+  config.user_points = scenario::parse_user_sweep(args.get("users-sweep", default_sweep));
   config.replications = args.count("replications", 3);
   config.threads = args.count("threads", 0);
   config.seed = seed;
@@ -267,9 +212,6 @@ int cmd_run_contended(const Args& args, std::size_t sessions, std::uint64_t seed
 }
 
 int cmd_run(const Args& args) {
-  args.require_known({"users", "sessions", "model", "heavy", "seed", "markov", "pattern",
-                      "windows", "spec", "log", "shards", "threads", "verify-merge",
-                      "contended", "users-sweep", "replications"});
   if (!args.positional.empty()) {
     throw std::invalid_argument("unexpected argument '" + args.positional.front() +
                                 "' (run takes only --flags)");
@@ -284,10 +226,7 @@ int cmd_run(const Args& args) {
     // Override think time / access size from a GDS spec file when present.
     core::DistributionSpecifier gds;
     gds.load_spec_text(util::read_text_file(args.get("spec", "")));
-    for (auto& group : population.groups) {
-      if (gds.contains("think_time")) group.type.think_time_us = gds.get("think_time");
-      if (gds.contains("access_size")) group.type.access_size_bytes = gds.get("access_size");
-    }
+    core::apply_gds_overrides(population, gds);
   }
 
   core::UsimConfig config;
@@ -356,8 +295,6 @@ int cmd_run(const Args& args) {
 /// The paper-expectation harness: runs the 23 registered figure/table
 /// experiments, grades them PASS/WARN/FAIL, and writes the artifact set.
 int cmd_experiments(const Args& args) {
-  args.require_known(
-      {"only", "check", "list", "out", "scale", "seed", "threads", "replications", "verbose"});
   if (!args.positional.empty()) {
     // `experiments fig5_1` almost certainly meant `--only fig5_1`; running
     // all 23 instead would silently ignore the selection.
@@ -395,7 +332,6 @@ int cmd_experiments(const Args& args) {
 }
 
 int cmd_analyze(const Args& args) {
-  args.require_known({});
   if (args.positional.empty()) return usage();
   const core::UsageLog log = core::UsageLog::parse(util::read_text_file(args.positional[0]));
   print_analysis(log);
@@ -403,7 +339,6 @@ int cmd_analyze(const Args& args) {
 }
 
 int cmd_replay(const Args& args) {
-  args.require_known({"model", "closed-loop", "scale"});
   if (args.positional.empty()) return usage();
   const core::UsageLog trace = core::UsageLog::parse(util::read_text_file(args.positional[0]));
 
@@ -422,18 +357,81 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+/// `wlgen scenario run <file.scn>...` executes declarative scenarios on the
+/// sharded / contended / replay paths; `--list` surveys the committed
+/// library, `--print` echoes a parsed spec (format: docs/SCENARIOS.md).
+int cmd_scenario(const Args& args) {
+  if (args.boolean("list")) {
+    const std::string dir = args.get("dir", "scenarios");
+    util::TextTable table({"file", "name", "mode", "models", "description"});
+    for (const auto& file : scenario::scenario_files(dir)) {
+      const scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse_file(file);
+      std::vector<std::string> models;
+      for (const auto& model : spec.models) models.push_back(model.name);
+      table.add_row({file, spec.name, scenario::to_string(spec.mode),
+                     util::join(models, ","), spec.description});
+    }
+    std::cout << table.render();
+    return 0;
+  }
+  if (args.flags.count("print")) {
+    std::cout << scenario::ScenarioSpec::parse_file(args.get("print", "")).summary();
+    return 0;
+  }
+  if (args.positional.empty() || args.positional.front() != "run") {
+    std::cerr << util::render_command_help("wlgen", cli::command_spec("scenario"));
+    return 1;
+  }
+  if (args.positional.size() < 2) {
+    throw std::invalid_argument("scenario run needs at least one <file.scn>");
+  }
+
+  scenario::RunOptions options;
+  if (args.flags.count("threads")) options.threads = args.count("threads", 0);
+
+  for (std::size_t i = 1; i < args.positional.size(); ++i) {
+    const scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse_file(args.positional[i]);
+    const scenario::ScenarioOutcome outcome = scenario::run_scenario(spec, options);
+    std::cout << outcome.report << "\nwall: " << util::TextTable::num(outcome.wall_ms, 1)
+              << " ms\n";
+    if (!spec.log_file.empty()) std::cout << "usage log written to " << spec.log_file << "\n";
+    if (!spec.stats_file.empty()) {
+      std::cout << "stats digest written to " << spec.stats_file << "\n";
+    }
+    if (i + 1 < args.positional.size()) std::cout << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const Args args = Args::parse(argc, argv, 2, boolean_flags());
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::cout << util::render_usage("wlgen", cli::command_specs());
+    return 0;
+  }
+  bool known_command = false;
+  for (const auto& spec : cli::command_specs()) known_command |= spec.name == command;
+  if (!known_command) return usage();
+
   try {
+    // Inside the try: parse itself can throw (e.g. `--contended=1` gives a
+    // boolean flag a value) and must exit 1 with a message, not abort.
+    const Args args = Args::parse(argc, argv, 2, cli::boolean_flags());
+    const util::CommandSpec& spec = cli::command_spec(command);
+    if (args.boolean("help")) {
+      std::cout << util::render_command_help("wlgen", spec);
+      return 0;
+    }
+    args.require_known(spec.flag_names());
     if (command == "gds") return cmd_gds(args);
     if (command == "run") return cmd_run(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "replay") return cmd_replay(args);
     if (command == "experiments") return cmd_experiments(args);
+    if (command == "scenario") return cmd_scenario(args);
   } catch (const std::exception& e) {
     std::cerr << "wlgen " << command << ": " << e.what() << "\n";
     return 1;

@@ -1,5 +1,6 @@
 #include "util/args.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/strings.h"
@@ -80,6 +81,88 @@ std::size_t Args::count(const std::string& key, std::size_t fallback) const {
                                 it->second + "'");
   }
   return static_cast<std::size_t>(*v);
+}
+
+namespace {
+
+const FlagSpec kHelpFlag{"help", "", "print this help text"};
+
+std::string flag_token(const FlagSpec& flag) {
+  return flag.is_boolean() ? "[--" + flag.name + "]"
+                           : "[--" + flag.name + " " + flag.value + "]";
+}
+
+}  // namespace
+
+std::set<std::string> CommandSpec::flag_names() const {
+  std::set<std::string> names{kHelpFlag.name};
+  for (const auto& flag : flags) names.insert(flag.name);
+  return names;
+}
+
+std::set<std::string> CommandSpec::boolean_flag_names() const {
+  std::set<std::string> names{kHelpFlag.name};
+  for (const auto& flag : flags) {
+    if (flag.is_boolean()) names.insert(flag.name);
+  }
+  return names;
+}
+
+std::string CommandSpec::usage_line(const std::string& program, std::size_t width) const {
+  const std::string head = program + " " + name;
+  std::string line = head;
+  if (!positionals.empty()) line += " " + positionals;
+  const std::string indent(head.size() + 1, ' ');
+
+  std::string out;
+  for (const auto& flag : flags) {
+    const std::string token = flag_token(flag);
+    if (line.size() + 1 + token.size() > width) {
+      out += line + "\n";
+      line = indent + token;
+    } else {
+      line += " " + token;
+    }
+  }
+  out += line;
+  return out;
+}
+
+std::string render_usage(const std::string& program,
+                         const std::vector<CommandSpec>& commands) {
+  std::string out = "usage:\n";
+  for (const auto& command : commands) {
+    // Two-space margin on every line of the wrapped usage.
+    for (const auto& line : split(command.usage_line(program, 76), '\n')) {
+      out += "  " + line + "\n";
+    }
+  }
+  out += "run '" + program + " <command> --help' for per-flag detail\n";
+  return out;
+}
+
+std::string render_command_help(const std::string& program, const CommandSpec& command) {
+  std::string out = program + " " + command.name + " — " + command.summary + "\n\n";
+  for (const auto& line : split(command.usage_line(program, 76), '\n')) {
+    out += "  " + line + "\n";
+  }
+
+  std::vector<FlagSpec> all = command.flags;
+  all.push_back(kHelpFlag);
+  std::size_t label_width = 0;
+  std::vector<std::string> labels;
+  for (const auto& flag : all) {
+    std::string label = "--" + flag.name;
+    if (!flag.is_boolean()) label += " " + flag.value;
+    label_width = std::max(label_width, label.size());
+    labels.push_back(std::move(label));
+  }
+  if (!all.empty()) out += "\nflags:\n";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    out += "  " + labels[i] + std::string(label_width - labels[i].size() + 2, ' ') +
+           all[i].help + "\n";
+  }
+  return out;
 }
 
 }  // namespace wlgen::util

@@ -59,4 +59,45 @@ struct Args {
   void require_known(const std::set<std::string>& known) const;
 };
 
+/// Declaration of one --flag: the single source of truth from which both
+/// the parser contract (known flags, boolean set) and the help text are
+/// derived, so usage strings can never drift from what the parser accepts.
+struct FlagSpec {
+  std::string name;   ///< without the leading "--"
+  std::string value;  ///< metavar ("N", "FILE", ...); empty = boolean flag
+  std::string help;   ///< one-line description
+
+  bool is_boolean() const { return value.empty(); }
+};
+
+/// Declaration of one subcommand: its positional shape, summary and flags.
+/// Every command implicitly accepts a boolean --help flag; flag_names() and
+/// boolean_flag_names() include it so dispatchers need no special casing.
+struct CommandSpec {
+  std::string name;         ///< "run", "experiments", ...
+  std::string positionals;  ///< "<spec-file>" or "" when flags-only
+  std::string summary;      ///< one-line description
+  std::vector<FlagSpec> flags;
+
+  /// Every accepted flag name (declared + "help") — feed to
+  /// Args::require_known.
+  std::set<std::string> flag_names() const;
+
+  /// Names of the flags that never consume a following token (declared
+  /// booleans + "help") — feed to Args::parse.
+  std::set<std::string> boolean_flag_names() const;
+
+  /// "program name <positionals> [--flag VALUE] [--bool]" wrapped to
+  /// `width` columns with aligned continuation lines.
+  std::string usage_line(const std::string& program, std::size_t width = 78) const;
+};
+
+/// The multi-command "usage:" block (one usage_line per command).
+std::string render_usage(const std::string& program,
+                         const std::vector<CommandSpec>& commands);
+
+/// Detailed per-command help: summary, usage line, and one aligned
+/// "--flag VALUE  help" row per flag (plus the implicit --help).
+std::string render_command_help(const std::string& program, const CommandSpec& command);
+
 }  // namespace wlgen::util

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <set>
 
 #include "util/args.h"
 #include "util/ascii_plot.h"
+#include "util/config.h"
 #include "util/json.h"
 #include "util/numeric.h"
 #include "util/rng.h"
@@ -419,6 +421,141 @@ TEST(Args, RequireKnownNamesTheMisspelledFlag) {
   const Args args = Args::parse({"--chek", "fig5_1"});
   EXPECT_THROW(args.require_known({"check", "only"}), std::invalid_argument);
   Args::parse({"--check"}, {"check"}).require_known({"check", "only"});  // must not throw
+}
+
+TEST(CommandSpec, DerivesFlagSetsAndHelpFromOneTable) {
+  const CommandSpec spec{"demo",
+                         "<file>",
+                         "a demo command",
+                         {{"count", "N", "how many"}, {"fast", "", "skip checks"}}};
+  EXPECT_EQ(spec.flag_names(), (std::set<std::string>{"count", "fast", "help"}));
+  EXPECT_EQ(spec.boolean_flag_names(), (std::set<std::string>{"fast", "help"}));
+
+  const std::string usage = spec.usage_line("prog");
+  EXPECT_NE(usage.find("prog demo <file>"), std::string::npos);
+  EXPECT_NE(usage.find("[--count N]"), std::string::npos);
+  EXPECT_NE(usage.find("[--fast]"), std::string::npos);
+
+  const std::string help = render_command_help("prog", spec);
+  EXPECT_NE(help.find("a demo command"), std::string::npos);
+  EXPECT_NE(help.find("how many"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST(CommandSpec, UsageLineWrapsWithAlignedContinuation) {
+  CommandSpec spec{"cmd", "", "wide", {}};
+  for (int i = 0; i < 12; ++i) {
+    spec.flags.push_back({"flag-number-" + std::to_string(i), "VALUE", "x"});
+  }
+  const std::string usage = spec.usage_line("prog", 60);
+  for (const auto& line : split(usage, '\n')) {
+    EXPECT_LE(line.size(), 60u) << line;
+  }
+  EXPECT_NE(usage.find('\n'), std::string::npos);  // actually wrapped
+}
+
+// --- util::Config (the scenario file parser) --------------------------------
+
+TEST(Config, ParsesSectionsKeysCommentsAndQuotes) {
+  const Config config = Config::parse_text(
+      "# full-line comment\n"
+      "; also a comment\n"
+      "top = 1\n"
+      "[alpha]\n"
+      "name = bare value with spaces   # trailing comment\n"
+      "quoted = \" kept; spaces # and marks \"  ; comment after quote\n"
+      "escaped = \"a\\\"b\\\\c\\n\"\n"
+      "dotted.key = 2.5\n"
+      "[beta]  # section trailing comment\n"
+      "flag = on\n"
+      "list = a, b , ,c\n");
+  EXPECT_TRUE(config.has("top"));
+  EXPECT_EQ(config.get_int("top", 0), 1);
+  EXPECT_EQ(config.get_string("alpha.name"), "bare value with spaces");
+  EXPECT_EQ(config.get_string("alpha.quoted"), " kept; spaces # and marks ");
+  EXPECT_EQ(config.get_string("alpha.escaped"), "a\"b\\c\n");
+  EXPECT_DOUBLE_EQ(config.get_double("alpha.dotted.key", 0.0), 2.5);
+  EXPECT_TRUE(config.get_bool("beta.flag", false));
+  EXPECT_EQ(config.get_list("beta.list"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(config.keys().front(), "top");  // file order preserved
+  EXPECT_EQ(config.keys_with_prefix("alpha.").size(), 4u);
+  EXPECT_EQ(config.get_string("absent", "fallback"), "fallback");
+}
+
+TEST(Config, TypedGetterErrorsCarryOriginAndLineNumber) {
+  const Config config = Config::parse_text(
+      "[a]\n"
+      "count = many\n"
+      "level = high\n"
+      "flag = maybe\n",
+      "test.scn");
+  EXPECT_EQ(config.line_of("a.count"), 2);
+  for (const auto& probe : std::vector<std::function<void()>>{
+           [&] { (void)config.get_int("a.count", 0); },
+           [&] { (void)config.get_size("a.count", 0); },
+           [&] { (void)config.get_double("a.level", 0.0); },
+           [&] { (void)config.get_bool("a.flag", false); }}) {
+    try {
+      probe();
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("test.scn:"), std::string::npos) << e.what();
+    }
+  }
+  // Negative counts are rejected by get_size but fine for get_int.
+  const Config negative = Config::parse_text("n = -3\n");
+  EXPECT_EQ(negative.get_int("n", 0), -3);
+  EXPECT_THROW((void)negative.get_size("n", 0), std::invalid_argument);
+}
+
+TEST(Config, ParseErrorsNameTheLine) {
+  for (const char* bad : {
+           "key value\n",                 // no '='
+           "[section\n",                  // unterminated header
+           "a = \"unterminated\n",        // unterminated quote
+           "a = \"x\" trailing\n",        // text after closing quote
+           "a = \"bad \\q escape\"\n",    // unknown escape
+           "a!b = 1\n",                   // invalid key
+           "a = 1\na = 2\n",              // duplicate key
+       }) {
+    try {
+      (void)Config::parse_text(bad, "bad.cfg");
+      FAIL() << "expected parse failure for: " << bad;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("bad.cfg:"), std::string::npos) << e.what();
+    }
+  }
+  // The duplicate-key error names the first definition's line too.
+  try {
+    (void)Config::parse_text("a = 1\na = 2\n", "dup.cfg");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Config, RequireKnownFlagsTheTypoWithItsLine) {
+  const Config config = Config::parse_text(
+      "[scenario]\nmode = contended\n[workload]\nuserz = 3\n[model]\nnfs.x = 1\n",
+      "typo.scn");
+  config.require_known({"scenario.mode", "workload.userz"}, {"model."});  // must not throw
+  try {
+    config.require_known({"scenario.mode"}, {"model."});
+    FAIL() << "expected unknown-key failure";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("typo.scn:4"), std::string::npos) << message;
+    EXPECT_NE(message.find("workload.userz"), std::string::npos) << message;
+  }
+}
+
+TEST(Config, MissingFileErrorNamesThePath) {
+  try {
+    (void)Config::parse_file("/nonexistent/nowhere.scn");
+    FAIL() << "expected missing-file failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/nowhere.scn"), std::string::npos);
+  }
 }
 
 }  // namespace
