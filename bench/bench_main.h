@@ -1,0 +1,30 @@
+// Shared benchmark entry point: BENCHMARK_MAIN() plus a "wlgen_build_type"
+// context entry reflecting how *this binary* was compiled (NDEBUG => a
+// release/optimised build).  The stock "library_build_type" context field
+// describes the google-benchmark library the distro shipped — on systems
+// whose libbenchmark package was built Debug it reads "debug" even when the
+// wlgen benchmarks themselves are -O2/-O3 — so the recording gate in
+// bench/record_bench.sh keys on this field instead.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+namespace wlgen_bench {
+#ifdef NDEBUG
+inline constexpr const char* kBuildType = "release";
+#else
+inline constexpr const char* kBuildType = "debug";
+#endif
+}  // namespace wlgen_bench
+
+#define WLGEN_BENCHMARK_MAIN()                                            \
+  int main(int argc, char** argv) {                                       \
+    benchmark::AddCustomContext("wlgen_build_type",                       \
+                                wlgen_bench::kBuildType);                 \
+    benchmark::Initialize(&argc, argv);                                   \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    benchmark::RunSpecifiedBenchmarks();                                  \
+    benchmark::Shutdown();                                                \
+    return 0;                                                             \
+  }                                                                       \
+  static_assert(true, "require a trailing semicolon")

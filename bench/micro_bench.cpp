@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "bench_main.h"
 #include "dist/basic.h"
 #include "dist/cdf_table.h"
 #include "dist/multistage_gamma.h"
@@ -59,6 +62,39 @@ void BM_SampleMultiStageGamma(benchmark::State& state) {
 }
 BENCHMARK(BM_SampleMultiStageGamma);
 
+// Batched counterparts of the scalar sampling benches above: one sample_n
+// call per kSampleBatch draws (the per-characteristic refill size the USIM's
+// draw buffers use).  Items = draws, so items/s compares directly against
+// the scalar entries.  The batch kernels consume the stream in the same
+// order as the scalar path (pinned by dist_test SampleNMatchesScalar*).
+constexpr std::size_t kSampleBatch = 256;
+
+void BM_SamplePhaseTypeExponentialBatch(benchmark::State& state) {
+  const auto d = dist::PhaseTypeExponential::paper_example_c();
+  util::RngStream rng(1, "bm");
+  std::vector<double> out(kSampleBatch);
+  for (auto _ : state) {
+    d.sample_n(rng, out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kSampleBatch));
+}
+BENCHMARK(BM_SamplePhaseTypeExponentialBatch);
+
+void BM_SampleMultiStageGammaBatch(benchmark::State& state) {
+  const auto d = dist::MultiStageGamma::paper_example_c();
+  util::RngStream rng(1, "bm");
+  std::vector<double> out(kSampleBatch);
+  for (auto _ : state) {
+    d.sample_n(rng, out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kSampleBatch));
+}
+BENCHMARK(BM_SampleMultiStageGammaBatch);
+
 void BM_CdfTableSample(benchmark::State& state) {
   dist::ExponentialDistribution d(1024.0);
   const dist::CdfTable table = dist::build_cdf_table(d, static_cast<std::size_t>(state.range(0)));
@@ -77,6 +113,23 @@ void BM_CdfTableSampleBinarySearch(benchmark::State& state) {
 }
 BENCHMARK(BM_CdfTableSampleBinarySearch)->Arg(16)->Arg(256)->Arg(4096);
 
+// Batched alias path: one fill_uniform01 per kSampleBatch draws plus a
+// branch-free resolve loop (no data-dependent accept/alias branch).  Items =
+// draws; compare items/s against BM_CdfTableSample at the same table size.
+void BM_CdfTableSampleBatch(benchmark::State& state) {
+  dist::ExponentialDistribution d(1024.0);
+  const dist::CdfTable table = dist::build_cdf_table(d, static_cast<std::size_t>(state.range(0)));
+  util::RngStream rng(1, "bm");
+  std::vector<double> out(kSampleBatch);
+  for (auto _ : state) {
+    table.sample_n(rng, out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kSampleBatch));
+}
+BENCHMARK(BM_CdfTableSampleBatch)->Arg(16)->Arg(256)->Arg(4096);
+
 void BM_SimulationEventLoop(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulation sim;
@@ -88,6 +141,180 @@ void BM_SimulationEventLoop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SimulationEventLoop)->Arg(1000)->Arg(10000);
+
+// Steady-state event churn: a fixed-size pending set where every dispatched
+// event reschedules a successor at a random future time — the USIM's actual
+// heap access pattern (BM_SimulationEventLoop above is the fill-then-drain
+// shape).  Items = events dispatched.
+struct ChurnState {
+  sim::Simulation sim;
+  util::RngStream rng{1, "bm"};
+  std::uint64_t remaining = 0;
+};
+
+void churn_hop(ChurnState* cs) {
+  if (cs->remaining == 0) return;
+  --cs->remaining;
+  cs->sim.schedule(cs->rng.uniform01() * 100.0, [cs] { churn_hop(cs); });
+}
+
+void BM_SimulationEventChurn(benchmark::State& state) {
+  const std::size_t pending = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kHops = 32;
+  for (auto _ : state) {
+    ChurnState cs;
+    cs.remaining = kHops * pending;
+    for (std::size_t i = 0; i < pending; ++i) {
+      cs.sim.schedule(cs.rng.uniform01() * 100.0, [p = &cs] { churn_hop(p); });
+    }
+    cs.sim.run();
+    benchmark::DoNotOptimize(cs.sim.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>((kHops + 1) * pending));
+}
+BENCHMARK(BM_SimulationEventChurn)->Arg(1024)->Arg(65536);
+
+// --- AoS vs SoA heap layout, isolated ----------------------------------
+// Two minimal 4-ary min-heaps with the Simulation's exact sift logic: the
+// former 24-byte {when, seq, slot} AoS entry versus the current split into
+// a 16-byte key array plus a parallel 4-byte slot array (DESIGN.md "SoA
+// event heap").  Same keys, same comparisons — only the bytes moved per
+// sift level differ, so the pair isolates the pure layout effect.  The AoS
+// variant is the reference path kept on the scoreboard.
+struct HeapAos {
+  struct Entry {
+    double when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  std::vector<Entry> entries;
+
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+  void push(double when, std::uint64_t seq, std::uint32_t slot) {
+    entries.push_back({when, seq, slot});
+    std::size_t i = entries.size() - 1;
+    const Entry e = entries[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(e, entries[parent])) break;
+      entries[i] = entries[parent];
+      i = parent;
+    }
+    entries[i] = e;
+  }
+  std::uint32_t pop() {
+    const std::uint32_t top = entries.front().slot;
+    entries.front() = entries.back();
+    entries.pop_back();
+    const std::size_t n = entries.size();
+    if (n == 0) return top;
+    std::size_t i = 0;
+    const Entry e = entries[0];
+    while (true) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (before(entries[c], entries[best])) best = c;
+      }
+      if (!before(entries[best], e)) break;
+      entries[i] = entries[best];
+      i = best;
+    }
+    entries[i] = e;
+    return top;
+  }
+  bool empty() const { return entries.empty(); }
+};
+
+struct HeapSoa {
+  struct Key {
+    double when;
+    std::uint64_t seq;
+  };
+  std::vector<Key> keys;
+  std::vector<std::uint32_t> slots;
+
+  static bool before(const Key& a, const Key& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+  void push(double when, std::uint64_t seq, std::uint32_t slot) {
+    keys.push_back({when, seq});
+    slots.push_back(slot);
+    std::size_t i = keys.size() - 1;
+    const Key key = keys[i];
+    const std::uint32_t s = slots[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(key, keys[parent])) break;
+      keys[i] = keys[parent];
+      slots[i] = slots[parent];
+      i = parent;
+    }
+    keys[i] = key;
+    slots[i] = s;
+  }
+  std::uint32_t pop() {
+    const std::uint32_t top = slots.front();
+    keys.front() = keys.back();
+    slots.front() = slots.back();
+    keys.pop_back();
+    slots.pop_back();
+    const std::size_t n = keys.size();
+    if (n == 0) return top;
+    std::size_t i = 0;
+    const Key key = keys[0];
+    const std::uint32_t s = slots[0];
+    while (true) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (before(keys[c], keys[best])) best = c;
+      }
+      if (!before(keys[best], key)) break;
+      keys[i] = keys[best];
+      slots[i] = slots[best];
+      i = best;
+    }
+    keys[i] = key;
+    slots[i] = s;
+    return top;
+  }
+  bool empty() const { return keys.empty(); }
+};
+
+template <typename Heap>
+void heap_fill_drain(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::RngStream rng(1, "bm");
+  std::vector<double> whens(n);
+  for (auto& w : whens) w = rng.uniform01() * 1e6;
+  Heap heap;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      heap.push(whens[i], i, static_cast<std::uint32_t>(i));
+    }
+    std::uint64_t sum = 0;
+    while (!heap.empty()) sum += heap.pop();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_EventHeapAos(benchmark::State& state) { heap_fill_drain<HeapAos>(state); }
+BENCHMARK(BM_EventHeapAos)->Arg(100000);
+
+void BM_EventHeapSoa(benchmark::State& state) { heap_fill_drain<HeapSoa>(state); }
+BENCHMARK(BM_EventHeapSoa)->Arg(100000);
 
 void BM_ResourceQueueing(benchmark::State& state) {
   for (auto _ : state) {
@@ -171,4 +398,4 @@ BENCHMARK(BM_LruCacheAccess)->Arg(384)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WLGEN_BENCHMARK_MAIN();

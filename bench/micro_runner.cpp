@@ -11,8 +11,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "runner/contended_runner.h"
 #include "runner/sharded_runner.h"
+#include "scenario/run.h"
+#include "scenario/spec.h"
 
 namespace {
 
@@ -98,6 +101,42 @@ void BM_MergeUserLogs(benchmark::State& state) {
 }
 BENCHMARK(BM_MergeUserLogs)->Arg(1000);
 
+// Scenario-level parallelism: one three-backend sharded scenario, run with a
+// growing --threads budget.  run_scenario fans the independent backends over
+// the worker pool (scenario/run.cpp), so on an M-core machine the /T time
+// should shrink toward 1/min(T, 3, M) of /1 — flat on a single-core
+// container (num_cpus in this file's recorded context says which).  The
+// stats digest is bit-identical at every thread count; the benchmark only
+// measures wall clock.
+void BM_ScenarioMultiBackend(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse_text(R"(
+[scenario]
+name = bench-multi-backend
+mode = sharded
+
+[workload]
+users = 12
+sessions = 3
+
+[sharded]
+shards = 4
+collect_log = false
+
+[model]
+names = nfs, local, wholefile
+)");
+  for (auto _ : state) {
+    scenario::RunOptions options;
+    options.threads = threads;
+    const scenario::ScenarioOutcome outcome = scenario::run_scenario(spec, options);
+    benchmark::DoNotOptimize(outcome.stats_digest.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 3);
+}
+BENCHMARK(BM_ScenarioMultiBackend)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+WLGEN_BENCHMARK_MAIN();

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "core/analysis.h"
 #include "core/fsc.h"
 #include "core/presets.h"
@@ -14,7 +15,7 @@ namespace {
 
 using namespace wlgen;
 
-void BM_UsimSessions(benchmark::State& state) {
+void run_usim_sessions(benchmark::State& state, std::size_t draw_batch) {
   const std::size_t users = static_cast<std::size_t>(state.range(0));
   std::uint64_t ops = 0;
   std::uint64_t sessions = 0;
@@ -29,6 +30,7 @@ void BM_UsimSessions(benchmark::State& state) {
     core::UsimConfig config;
     config.num_users = users;
     config.sessions_per_user = 5;
+    config.draw_batch = draw_batch;
     config.collect_log = false;  // measure the simulator, not the log
     core::UserSimulator usim(simulation, fsys, nfs, manifest, core::default_population(),
                              config);
@@ -41,8 +43,17 @@ void BM_UsimSessions(benchmark::State& state) {
   state.counters["sessions/s"] =
       benchmark::Counter(static_cast<double>(sessions), benchmark::Counter::kIsRate);
 }
+
+void BM_UsimSessions(benchmark::State& state) { run_usim_sessions(state, 1); }
 BENCHMARK(BM_UsimSessions)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The same workload with 16 draws prefetched per characteristic
+// (UsimConfig::draw_batch — deterministic but a different realization than
+// the unbatched sequence; see the field's doc comment).  Compare syscalls/s
+// against BM_UsimSessions to see what batch refills buy end to end.
+void BM_UsimSessionsBatched(benchmark::State& state) { run_usim_sessions(state, 16); }
+BENCHMARK(BM_UsimSessionsBatched)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+WLGEN_BENCHMARK_MAIN();

@@ -8,8 +8,16 @@
 #
 # When the micro_runner binary exists (third argument, defaulting to the
 # sibling of micro_bench), its runner-scaling entries — BM_ShardedRunner
-# shard scaling, BM_ContendedRunner contended-replication scaling, and the
-# BM_MergeUserLogs fold — are merged into the same scoreboard file.
+# shard scaling, BM_ContendedRunner contended-replication scaling, the
+# BM_MergeUserLogs fold, and BM_ScenarioMultiBackend scenario-parallelism
+# scaling — are merged into the same scoreboard file.
+#
+# Debug-build guard: numbers from an unoptimised binary are meaningless on a
+# perf scoreboard, so recording refuses unless each binary's own
+# "wlgen_build_type" context entry (bench/bench_main.h, keyed on NDEBUG)
+# says "release".  The stock "library_build_type" field is NOT consulted: it
+# describes how the distro built the google-benchmark *library*, which can
+# read "debug" under a fully optimised wlgen build.
 set -euo pipefail
 
 BIN="${1:-build/micro_bench}"
@@ -21,13 +29,34 @@ if [[ ! -x "$BIN" ]]; then
   exit 1
 fi
 
-"$BIN" --benchmark_format=json --benchmark_min_time=0.2 --benchmark_repetitions=1 > "$OUT"
+TMP_MAIN="$(mktemp)"
+TMP_RUNNER="$(mktemp)"
+trap 'rm -f "$TMP_MAIN" "$TMP_RUNNER"' EXIT
+
+# Fails (exit 1) when the recorded context is not a release build of wlgen.
+require_release() {
+  python3 - "$1" "$2" <<'PY'
+import json, sys
+path, label = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    context = json.load(f).get("context", {})
+build = context.get("wlgen_build_type", "unknown")
+if build != "release":
+    sys.stderr.write(
+        f"error: {label} reports wlgen_build_type={build!r} — refusing to record "
+        "a scoreboard from an unoptimised binary.\n"
+        "Rebuild with -DCMAKE_BUILD_TYPE=Release (or RelWithDebInfo) and re-run.\n")
+    sys.exit(1)
+PY
+}
+
+"$BIN" --benchmark_format=json --benchmark_min_time=0.2 --benchmark_repetitions=1 > "$TMP_MAIN"
+require_release "$TMP_MAIN" "$BIN"
 
 if [[ -x "$RUNNER_BIN" ]]; then
-  RUNNER_OUT="$(mktemp)"
-  trap 'rm -f "$RUNNER_OUT"' EXIT
-  "$RUNNER_BIN" --benchmark_format=json --benchmark_min_time=0.5 --benchmark_repetitions=1 > "$RUNNER_OUT"
-  python3 - "$OUT" "$RUNNER_OUT" <<'PY'
+  "$RUNNER_BIN" --benchmark_format=json --benchmark_min_time=0.5 --benchmark_repetitions=1 > "$TMP_RUNNER"
+  require_release "$TMP_RUNNER" "$RUNNER_BIN"
+  python3 - "$TMP_MAIN" "$TMP_RUNNER" <<'PY'
 import json, sys
 main_path, runner_path = sys.argv[1], sys.argv[2]
 with open(main_path) as f:
@@ -40,6 +69,9 @@ with open(main_path, "w") as f:
     f.write("\n")
 PY
 else
-  echo "note: $RUNNER_BIN not found — scoreboard recorded without shard-scaling entries" >&2
+  echo "note: $RUNNER_BIN not found — scoreboard recorded without runner-scaling entries" >&2
 fi
+
+mv "$TMP_MAIN" "$OUT"
+chmod 644 "$OUT"
 echo "wrote $OUT"

@@ -45,7 +45,38 @@ struct UserSimulator::SessionSlot {
   std::size_t ops_this_session = 0;
 };
 
+/// Per-(user, characteristic) prefetch buffer over Distribution::sample_n —
+/// the batched draw pipeline (see UsimConfig::draw_batch).  With capacity 1
+/// every next() is exactly one scalar sample() at the historical point in
+/// the user's stream; larger capacities refill a whole block at once so the
+/// distribution's batch kernel amortises dispatch and table lookups.
+struct UserSimulator::DrawBuffer {
+  const dist::Distribution* dist = nullptr;
+  std::size_t capacity = 1;
+  std::vector<double> values;
+  std::size_t pos = 0;
+
+  DrawBuffer() = default;
+  DrawBuffer(const dist::Distribution* d, std::size_t cap) : dist(d), capacity(cap) {}
+
+  double next(util::RngStream& rng) {
+    if (pos == values.size()) {
+      values.resize(capacity);
+      dist->sample_n(rng, values.data(), capacity);
+      pos = 0;
+    }
+    return values[pos++];
+  }
+};
+
 struct UserSimulator::UserState {
+  /// The three per-category characteristics of one UsageProfile, buffered.
+  struct ProfileBuffers {
+    DrawBuffer files_per_session;
+    DrawBuffer file_size;
+    DrawBuffer accesses_per_byte;
+  };
+
   std::size_t index = 0;  ///< global user index (first_user + local offset)
   const UserType* type = nullptr;
   util::RngStream rng;
@@ -53,8 +84,29 @@ struct UserSimulator::UserState {
   std::uint32_t next_session_ordinal = 0;
   std::uint64_t new_file_counter = 0;
 
+  DrawBuffer think_time;
+  DrawBuffer access_size;
+  DrawBuffer session_gap;
+  std::vector<ProfileBuffers> profiles;  ///< parallel to type->usage
+
   UserState(std::uint64_t seed, std::size_t idx)
       : index(idx), rng(seed, "usim/user/" + std::to_string(idx)) {}
+
+  void bind_buffers(const UsimConfig& config) {
+    const std::size_t batch = config.draw_batch;
+    think_time = DrawBuffer(type->think_time_us.get(), batch);
+    access_size = DrawBuffer(type->access_size_bytes.get(), batch);
+    session_gap = DrawBuffer(config.inter_session_gap_us.get(), batch);
+    profiles.clear();
+    profiles.reserve(type->usage.size());
+    for (const auto& profile : type->usage) {
+      ProfileBuffers buffers;
+      buffers.files_per_session = DrawBuffer(profile.files_per_session.get(), batch);
+      buffers.file_size = DrawBuffer(profile.file_size.get(), batch);
+      buffers.accesses_per_byte = DrawBuffer(profile.accesses_per_byte.get(), batch);
+      profiles.push_back(std::move(buffers));
+    }
+  }
 };
 
 UserSimulator::UserSimulator(sim::Simulation& sim, fs::SimulatedFileSystem& fsys,
@@ -76,6 +128,9 @@ UserSimulator::UserSimulator(sim::Simulation& sim, fs::SimulatedFileSystem& fsys
   }
   if (config_.client_machines == 0) {
     throw std::invalid_argument("UserSimulator: need >= 1 client machine");
+  }
+  if (config_.draw_batch == 0) {
+    throw std::invalid_argument("UserSimulator: draw_batch must be >= 1");
   }
   if (manifest_.user_count() < config_.first_user + config_.num_users) {
     throw std::invalid_argument(
@@ -103,6 +158,7 @@ UserSimulator::UserSimulator(sim::Simulation& sim, fs::SimulatedFileSystem& fsys
     const std::size_t global = config_.first_user + u;
     auto user = std::make_unique<UserState>(config_.seed, global);
     user->type = &population_.type_for_user(global, config_.population_users);
+    user->bind_buffers(config_);
     user->slots.resize(config_.windows_per_user);
     for (std::size_t s = 0; s < config_.windows_per_user; ++s) user->slots[s].slot_index = s;
     users_.push_back(std::move(user));
@@ -112,7 +168,7 @@ UserSimulator::UserSimulator(sim::Simulation& sim, fs::SimulatedFileSystem& fsys
 UserSimulator::~UserSimulator() = default;
 
 double UserSimulator::sample_think(UserState& user) {
-  const double base = user.type->think_time_us->sample(user.rng);
+  const double base = user.think_time.next(user.rng);
   const double scaled = base * config_.think_modulator->multiplier(sim_.now());
   return scaled < 0.0 ? 0.0 : scaled;
 }
@@ -137,9 +193,11 @@ bool UserSimulator::plan_items(UserState& user, SessionSlot& slot) {
   slot.previous_item = OpStreamPolicy::kNone;
   slot.ops_this_session = 0;
 
-  for (const auto& profile : user.type->usage) {
+  for (std::size_t p = 0; p < user.type->usage.size(); ++p) {
+    const auto& profile = user.type->usage[p];
+    UserState::ProfileBuffers& draws = user.profiles[p];
     if (!user.rng.bernoulli(profile.prob_accessing_category)) continue;
-    const std::uint64_t files = at_least_one(profile.files_per_session->sample(user.rng));
+    const std::uint64_t files = at_least_one(draws.files_per_session.next(user.rng));
     const auto& pool = manifest_.pool(profile.category, user.index);
     for (std::uint64_t f = 0; f < files; ++f) {
       WorkItem item;
@@ -148,10 +206,10 @@ bool UserSimulator::plan_items(UserState& user, SessionSlot& slot) {
           profile.category.use == UseMode::new_file || profile.category.use == UseMode::temp;
       if (creates_file) {
         item.path = new_file_path(user, profile.category.use);
-        item.write_target = at_least_one(profile.file_size->sample(user.rng));
+        item.write_target = at_least_one(draws.file_size.next(user.rng));
         item.file_size = 0;
         item.bytes_target =
-            at_least_one(profile.accesses_per_byte->sample(user.rng) *
+            at_least_one(draws.accesses_per_byte.next(user.rng) *
                          static_cast<double>(item.write_target));
         item.state = WorkItem::State::need_creat;
       } else if (!pool.empty()) {
@@ -179,7 +237,7 @@ bool UserSimulator::plan_items(UserState& user, SessionSlot& slot) {
         item.file_size = st.value().size;
         if (item.file_size == 0) continue;
         item.bytes_target =
-            at_least_one(profile.accesses_per_byte->sample(user.rng) *
+            at_least_one(draws.accesses_per_byte.next(user.rng) *
                          static_cast<double>(item.file_size));
         item.state = user.rng.bernoulli(config_.stat_before_open_prob)
                          ? WorkItem::State::need_stat
@@ -189,10 +247,10 @@ bool UserSimulator::plan_items(UserState& user, SessionSlot& slot) {
         // one, as the paper's generator also "only creates those files which
         // may be accessed".
         item.path = new_file_path(user, UseMode::new_file);
-        item.write_target = at_least_one(profile.file_size->sample(user.rng));
+        item.write_target = at_least_one(draws.file_size.next(user.rng));
         item.file_size = 0;
         item.bytes_target =
-            at_least_one(profile.accesses_per_byte->sample(user.rng) *
+            at_least_one(draws.accesses_per_byte.next(user.rng) *
                          static_cast<double>(item.write_target));
         item.state = WorkItem::State::need_creat;
       }
@@ -221,7 +279,7 @@ void UserSimulator::finish_session(UserState& user, SessionSlot& slot) {
   ++slot.sessions_done;
   slot.items.clear();
   if (slot.sessions_done >= config_.sessions_per_user) return;  // this slot is finished
-  const double gap = std::max(0.0, config_.inter_session_gap_us->sample(user.rng));
+  const double gap = std::max(0.0, user.session_gap.next(user.rng));
   sim_.schedule(gap, [this, &user, &slot]() { start_session(user, slot); });
 }
 
@@ -371,7 +429,7 @@ void UserSimulator::issue_next_op(UserState& user, SessionSlot& slot) {
     return;
   }
 
-  const std::uint64_t chunk = at_least_one(user.type->access_size_bytes->sample(user.rng));
+  const std::uint64_t chunk = at_least_one(user.access_size.next(user.rng));
 
   // Phase 1 for NEW/TEMP items: materialise the file with extending writes.
   if (item.bytes_written < item.write_target) {
@@ -443,7 +501,7 @@ void UserSimulator::run() {
   for (auto& user : users_) {
     for (auto& slot : user->slots) {
       // Stagger logins by a sampled gap so users do not lockstep.
-      const double gap = std::max(0.0, config_.inter_session_gap_us->sample(user->rng));
+      const double gap = std::max(0.0, user->session_gap.next(user->rng));
       UserState* u = user.get();
       SessionSlot* s = &slot;
       sim_.schedule(gap, [this, u, s]() { start_session(*u, *s); });

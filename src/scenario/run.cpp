@@ -1,8 +1,10 @@
 #include "scenario/run.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -13,6 +15,7 @@
 #include "core/usim.h"
 #include "fs/filesystem.h"
 #include "runner/contended_runner.h"
+#include "runner/pool.h"
 #include "runner/sharded_runner.h"
 #include "util/svg.h"
 #include "util/table.h"
@@ -250,19 +253,35 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& options
     }
   }
 
-  for (const auto& model : spec.models) {
-    switch (spec.mode) {
-      case RunMode::sharded:
-        outcome.models.push_back(run_sharded(spec, model, threads));
-        break;
-      case RunMode::contended:
-        outcome.models.push_back(run_contended(spec, model, threads));
-        break;
-      case RunMode::replay:
-        outcome.models.push_back(run_replay(spec, model, trace, trace_users, trace_sessions));
-        break;
-    }
-  }
+  // Independent backends fan out over the worker pool.  Each job writes its
+  // ModelOutcome to a per-index slot and the digest is folded in spec order
+  // below, so the digest is bit-identical for any --threads: every backend's
+  // own result is already thread-invariant (the runners' merge contracts),
+  // and the fold order never depends on completion order.  The thread budget
+  // splits across the two levels — `outer` backends in flight, each running
+  // its internal runner pool with an equal share of the remainder — so a
+  // multi-model scenario never oversubscribes the requested thread count.
+  outcome.models.resize(spec.models.size());
+  const std::size_t total_threads =
+      runner::resolve_pool_threads(threads, std::numeric_limits<std::size_t>::max());
+  const std::size_t outer = std::min(total_threads, spec.models.size());
+  const std::size_t inner = std::max<std::size_t>(1, total_threads / std::max<std::size_t>(1, outer));
+  runner::drain_pool(spec.models.size(), outer, [&]() -> runner::PoolJob {
+    return [&](std::size_t index, const std::atomic<bool>& /*cancelled*/) {
+      const ModelChoice& model = spec.models[index];
+      switch (spec.mode) {
+        case RunMode::sharded:
+          outcome.models[index] = run_sharded(spec, model, inner);
+          break;
+        case RunMode::contended:
+          outcome.models[index] = run_contended(spec, model, inner);
+          break;
+        case RunMode::replay:
+          outcome.models[index] = run_replay(spec, model, trace, trace_users, trace_sessions);
+          break;
+      }
+    };
+  });
 
   std::ostringstream digest;
   digest << "scenario " << spec.name << " mode=" << to_string(spec.mode) << " seed="

@@ -28,12 +28,14 @@ void Simulation::schedule_at(SimTime when, EventFn action) {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.push_back(std::move(action));
   }
-  heap_.push_back(HeapEntry{when, next_seq_++, slot});
-  sift_up(heap_.size() - 1);
+  heap_keys_.push_back(HeapKey{when, next_seq_++});
+  heap_slots_.push_back(slot);
+  sift_up(heap_keys_.size() - 1);
 }
 
 void Simulation::reset() {
-  heap_.clear();
+  heap_keys_.clear();
+  heap_slots_.clear();
   // clear() destroys the pooled callbacks but keeps the vector capacity, so
   // the next run repopulates slots in place without reallocating.
   slots_.clear();
@@ -44,51 +46,60 @@ void Simulation::reset() {
 }
 
 void Simulation::sift_up(std::size_t i) {
-  const HeapEntry item = heap_[i];
+  const HeapKey key = heap_keys_[i];
+  const std::uint32_t slot = heap_slots_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / kArity;
-    if (!before(item, heap_[parent])) break;
-    heap_[i] = heap_[parent];
+    if (!before(key, heap_keys_[parent])) break;
+    heap_keys_[i] = heap_keys_[parent];
+    heap_slots_[i] = heap_slots_[parent];
     i = parent;
   }
-  heap_[i] = item;
+  heap_keys_[i] = key;
+  heap_slots_[i] = slot;
 }
 
 void Simulation::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
-  const HeapEntry item = heap_[i];
+  const std::size_t n = heap_keys_.size();
+  const HeapKey key = heap_keys_[i];
+  const std::uint32_t slot = heap_slots_[i];
   while (true) {
     const std::size_t first = kArity * i + 1;
     if (first >= n) break;
     std::size_t best = first;
     const std::size_t end = std::min(first + kArity, n);
     for (std::size_t c = first + 1; c < end; ++c) {
-      if (before(heap_[c], heap_[best])) best = c;
+      if (before(heap_keys_[c], heap_keys_[best])) best = c;
     }
-    if (!before(heap_[best], item)) break;
-    heap_[i] = heap_[best];
+    if (!before(heap_keys_[best], key)) break;
+    heap_keys_[i] = heap_keys_[best];
+    heap_slots_[i] = heap_slots_[best];
     i = best;
   }
-  heap_[i] = item;
+  heap_keys_[i] = key;
+  heap_slots_[i] = slot;
 }
 
 void Simulation::dispatch_top() {
-  const HeapEntry top = heap_.front();
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+  const HeapKey top = heap_keys_.front();
+  const std::uint32_t top_slot = heap_slots_.front();
+  heap_keys_.front() = heap_keys_.back();
+  heap_slots_.front() = heap_slots_.back();
+  heap_keys_.pop_back();
+  heap_slots_.pop_back();
+  if (!heap_keys_.empty()) sift_down(0);
 
   // Move the callback out and recycle its slot *before* invoking, so the
   // action can schedule new events (possibly reusing this very slot).
-  EventFn action = std::move(slots_[top.slot]);
-  free_slots_.push_back(top.slot);
+  EventFn action = std::move(slots_[top_slot]);
+  free_slots_.push_back(top_slot);
   now_ = top.when;
   ++processed_;
   action();
 }
 
 void Simulation::run(std::size_t max_events) {
-  while (!heap_.empty()) {
+  while (!heap_keys_.empty()) {
     if (max_events != 0 && processed_ >= max_events) {
       throw std::runtime_error("Simulation::run: event budget exhausted (possible livelock)");
     }
@@ -98,7 +109,7 @@ void Simulation::run(std::size_t max_events) {
 
 void Simulation::run_until(SimTime t) {
   if (t < now_) throw std::invalid_argument("Simulation::run_until: time in the past");
-  while (!heap_.empty() && heap_.front().when <= t) dispatch_top();
+  while (!heap_keys_.empty() && heap_keys_.front().when <= t) dispatch_top();
   // The clock advances to t even when no event was pending — callers use
   // run_until to model idle wall-clock periods.
   now_ = t;

@@ -25,8 +25,12 @@ using SimTime = double;
 /// FIFO tie-break), which the tests rely on.
 ///
 /// Engineering (see DESIGN.md "Event core"): the pending set is an intrusive
-/// 4-ary min-heap of 24-byte (when, seq, slot) entries over a pooled arena
-/// of EventFn callbacks.  Scheduling an event with a capture of up to
+/// 4-ary min-heap over a pooled arena of EventFn callbacks, stored SoA — a
+/// hot (when, seq) key array the sifts compare against and a parallel
+/// payload array of arena slots that only moves alongside it.  Sifts touch
+/// ~2/3 of the bytes the former 24-byte AoS entries cost per level, which
+/// is what the comparison-heavy sift_down path is bound by once the heap
+/// outgrows L1.  Scheduling an event with a capture of up to
 /// EventFn::kInlineCapacity bytes performs zero heap allocations once the
 /// arena is warm — the std::function-per-event design this replaces paid one
 /// malloc/free pair per simulated system call.
@@ -66,18 +70,18 @@ class Simulation {
   std::uint64_t events_processed() const { return processed_; }
 
   /// Number of events currently pending.
-  std::size_t pending() const { return heap_.size(); }
+  std::size_t pending() const { return heap_keys_.size(); }
 
  private:
-  /// Heap entry: cheap to shuffle during sifts (the callback itself never
-  /// moves — it stays put in its arena slot until dispatch).
-  struct HeapEntry {
+  /// Hot half of a heap entry: everything the sift comparisons read.  The
+  /// arena slot rides in the parallel heap_slots_ array (the callback
+  /// itself never moves — it stays put in its arena slot until dispatch).
+  struct HeapKey {
     SimTime when;
     std::uint64_t seq;
-    std::uint32_t slot;
   };
 
-  static bool before(const HeapEntry& a, const HeapEntry& b) {
+  static bool before(const HeapKey& a, const HeapKey& b) {
     if (a.when != b.when) return a.when < b.when;
     return a.seq < b.seq;
   }
@@ -88,7 +92,8 @@ class Simulation {
   /// Pops the earliest event and runs it (advancing now_ and processed_).
   void dispatch_top();
 
-  std::vector<HeapEntry> heap_;          ///< intrusive 4-ary min-heap
+  std::vector<HeapKey> heap_keys_;       ///< 4-ary min-heap, key half (SoA)
+  std::vector<std::uint32_t> heap_slots_;  ///< payload half, parallel to heap_keys_
   std::vector<EventFn> slots_;           ///< pooled callback arena
   std::vector<std::uint32_t> free_slots_;
   SimTime now_ = 0.0;

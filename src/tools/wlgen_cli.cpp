@@ -18,11 +18,14 @@
 // Exit status: 0 on success, 1 on bad usage or I/O failure; `experiments
 // --check` also exits 1 when any experiment's verdict is FAIL.
 
+#include <atomic>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -35,6 +38,7 @@
 #include "exp/harness.h"
 #include "experiments.h"
 #include "runner/contended_runner.h"
+#include "runner/pool.h"
 #include "runner/sharded_runner.h"
 #include "scenario/run.h"
 #include "scenario/spec.h"
@@ -389,16 +393,44 @@ int cmd_scenario(const Args& args) {
   scenario::RunOptions options;
   if (args.flags.count("threads")) options.threads = args.count("threads", 0);
 
+  // Parse every spec up front so a bad file fails before any run starts,
+  // then fan the files over the worker pool.  Per-file console output is
+  // buffered into per-index slots and printed in argument order, so stdout
+  // is byte-identical to the old serial loop for any thread count.
+  std::vector<scenario::ScenarioSpec> specs;
   for (std::size_t i = 1; i < args.positional.size(); ++i) {
-    const scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse_file(args.positional[i]);
-    const scenario::ScenarioOutcome outcome = scenario::run_scenario(spec, options);
-    std::cout << outcome.report << "\nwall: " << util::TextTable::num(outcome.wall_ms, 1)
-              << " ms\n";
-    if (!spec.log_file.empty()) std::cout << "usage log written to " << spec.log_file << "\n";
-    if (!spec.stats_file.empty()) {
-      std::cout << "stats digest written to " << spec.stats_file << "\n";
-    }
-    if (i + 1 < args.positional.size()) std::cout << "\n";
+    specs.push_back(scenario::ScenarioSpec::parse_file(args.positional[i]));
+  }
+
+  const std::size_t total_threads = runner::resolve_pool_threads(
+      options.threads.value_or(0), std::numeric_limits<std::size_t>::max());
+  const std::size_t outer = std::min(total_threads, specs.size());
+  scenario::RunOptions per_file = options;
+  if (specs.size() > 1) {
+    // Multi-file runs divide the thread budget between the files in flight;
+    // run_scenario subdivides each file's share across the spec's backends
+    // (docs/SCENARIOS.md "Parallelism and --threads").
+    per_file.threads = std::max<std::size_t>(1, total_threads / std::max<std::size_t>(1, outer));
+  }
+
+  std::vector<std::string> reports(specs.size());
+  runner::drain_pool(specs.size(), outer, [&]() -> runner::PoolJob {
+    return [&](std::size_t index, const std::atomic<bool>& /*cancelled*/) {
+      const scenario::ScenarioSpec& spec = specs[index];
+      const scenario::ScenarioOutcome outcome = scenario::run_scenario(spec, per_file);
+      std::ostringstream out;
+      out << outcome.report << "\nwall: " << util::TextTable::num(outcome.wall_ms, 1)
+          << " ms\n";
+      if (!spec.log_file.empty()) out << "usage log written to " << spec.log_file << "\n";
+      if (!spec.stats_file.empty()) {
+        out << "stats digest written to " << spec.stats_file << "\n";
+      }
+      reports[index] = out.str();
+    };
+  });
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    std::cout << reports[i];
+    if (i + 1 < reports.size()) std::cout << "\n";
   }
   return 0;
 }

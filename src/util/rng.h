@@ -39,6 +39,13 @@ class RngStream {
     return block_[block_pos_++];
   }
 
+  /// Fills out[0..n) with the next n uniform01() draws.  Bit-identical to n
+  /// sequential uniform01() calls — the block refills at the same points —
+  /// but served by bulk copies out of the block, so batch samplers
+  /// (Distribution::sample_n) pay the refill check once per copied span
+  /// instead of once per draw.
+  void fill_uniform01(double* out, std::size_t n);
+
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
 

@@ -206,6 +206,46 @@ TEST(ScenarioRun, ShardedDigestIsThreadCountInvariant) {
   EXPECT_EQ(one, digest_with_threads(text, 8));
 }
 
+TEST(ScenarioRun, MultiModelDigestIsThreadCountInvariant) {
+  // Three backends fan over the worker pool (scenario/run.cpp); the digest
+  // folds per-index slots in spec order, so any --threads must reproduce the
+  // serial digest byte for byte — the scenario-parallelism contract.
+  const std::string text =
+      "[scenario]\nmode = sharded\nname = pin-multi\n"
+      "[workload]\nusers = 6\nsessions = 2\n"
+      "[sharded]\nshards = 2\n"
+      "[model]\nnames = nfs, local, wholefile\n";
+  const std::string one = digest_with_threads(text, 1);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, digest_with_threads(text, 8));
+  // Model sections appear in spec order regardless of completion order.
+  EXPECT_LT(one.find("model nfs"), one.find("model local"));
+  EXPECT_LT(one.find("model local"), one.find("model wholefile"));
+}
+
+TEST(ScenarioSpec, DrawBatchParsesAndRejectsZero) {
+  const ScenarioSpec spec = ScenarioSpec::parse_text(
+      "[scenario]\nmode = sharded\nname = batch\n"
+      "[workload]\nusers = 2\ndraw_batch = 16\n"
+      "[model]\nname = nfs\n");
+  EXPECT_EQ(spec.draw_batch, 16u);
+  EXPECT_EQ(spec.usim_config().draw_batch, 16u);
+  EXPECT_NE(spec.summary().find("draw batch: 16"), std::string::npos);
+  EXPECT_THROW(ScenarioSpec::parse_text("[scenario]\nmode = sharded\nname = b\n"
+                                        "[workload]\nusers = 1\ndraw_batch = 0\n"
+                                        "[model]\nname = nfs\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRun, DrawBatchDigestIsThreadCountInvariant) {
+  const std::string text =
+      "[scenario]\nmode = sharded\nname = pin-batch\n"
+      "[workload]\nusers = 4\nsessions = 2\ndraw_batch = 8\n"
+      "[sharded]\nshards = 2\n"
+      "[model]\nname = nfs\n";
+  EXPECT_EQ(digest_with_threads(text, 1), digest_with_threads(text, 8));
+}
+
 TEST(ScenarioRun, ReplayModeRunsTheAbComparison) {
   const std::string text =
       "[scenario]\nmode = replay\nname = ab\n"

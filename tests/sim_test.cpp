@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <functional>
 #include <new>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include "sim/resource.h"
@@ -134,6 +137,56 @@ TEST(Simulation, ResetRewindsClockAndDropsPendingEvents) {
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
   EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+// Property test of the SoA pending set: for a randomized schedule with many
+// deliberate timestamp collisions, dispatch order must equal a stable sort
+// of the requests by time — stability being exactly the FIFO tie-break.
+// Guards the parallel key/payload arrays against drifting out of sync in
+// any sift path.
+TEST(Simulation, RandomizedScheduleDispatchesInStableSortedOrder) {
+  std::mt19937 gen(20260807);
+  // Few distinct times over many events forces long runs of ties.
+  std::uniform_int_distribution<int> coarse_time(0, 19);
+  Simulation sim;
+  std::vector<int> order;
+  std::vector<std::pair<double, int>> requests;  // (when, id), scheduling order
+  constexpr int kEvents = 2000;
+  for (int i = 0; i < kEvents; ++i) {
+    const double when = static_cast<double>(coarse_time(gen));
+    requests.emplace_back(when, i);
+    sim.schedule_at(when, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(order.size(), requests.size());
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], requests[static_cast<std::size_t>(i)].second)
+        << "dispatch position " << i;
+  }
+}
+
+// reset() between two identical randomized timelines: the warm arena and
+// recycled heap storage must replay the second timeline identically to the
+// first (the sharded runner's per-worker reuse contract, at scale).
+TEST(Simulation, ResetReplaysIdenticalTimelineOnWarmStorage) {
+  Simulation sim;
+  std::vector<int> first_run;
+  std::vector<int> second_run;
+  auto drive = [&sim](std::vector<int>& order) {
+    std::mt19937 gen(99);
+    std::uniform_int_distribution<int> coarse_time(0, 9);
+    for (int i = 0; i < 500; ++i) {
+      sim.schedule_at(static_cast<double>(coarse_time(gen)), [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+  };
+  drive(first_run);
+  sim.reset();
+  EXPECT_EQ(sim.pending(), 0u);
+  drive(second_run);
+  EXPECT_EQ(first_run, second_run);
 }
 
 // Regression: the FIFO tie-break must survive heap restructuring — ties
