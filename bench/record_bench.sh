@@ -72,6 +72,26 @@ else
   echo "note: $RUNNER_BIN not found — scoreboard recorded without runner-scaling entries" >&2
 fi
 
+# Stamp build provenance into the context so a scoreboard entry can always
+# be traced back to the exact tree that produced it.
+GIT_SHA="$(git -C "$(dirname "$0")/.." rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+GIT_DIRTY=false
+if [[ "$GIT_SHA" != unknown ]] && \
+   [[ -n "$(git -C "$(dirname "$0")/.." status --porcelain 2>/dev/null)" ]]; then
+  GIT_DIRTY=true
+fi
+python3 - "$TMP_MAIN" "$GIT_SHA" "$GIT_DIRTY" <<'PY'
+import json, sys
+path, sha, dirty = sys.argv[1], sys.argv[2], sys.argv[3] == "true"
+with open(path) as f:
+    doc = json.load(f)
+doc.setdefault("context", {})["git_sha"] = sha
+doc["context"]["git_dirty"] = dirty
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PY
+
 mv "$TMP_MAIN" "$OUT"
 chmod 644 "$OUT"
 echo "wrote $OUT"

@@ -510,4 +510,10 @@ void UserSimulator::run() {
   sim_.run();
 }
 
+std::uint64_t UserSimulator::rng_draws() const {
+  std::uint64_t total = 0;
+  for (const auto& user : users_) total += user->rng.uniform_draws();
+  return total;
+}
+
 }  // namespace wlgen::core

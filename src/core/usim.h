@@ -147,6 +147,10 @@ class UserSimulator {
   std::uint64_t total_ops() const { return total_ops_; }
   std::uint64_t sessions_completed() const { return sessions_completed_; }
 
+  /// Total uniform01-path RNG draws across this run's user streams (the obs
+  /// "rng.uniform_draws" metric; see util::RngStream::uniform_draws).
+  std::uint64_t rng_draws() const;
+
   const UsimConfig& config() const { return config_; }
 
  private:

@@ -2,11 +2,13 @@
 
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "exp/artifacts.h"
+#include "obs/progress.h"
 #include "runner/pool.h"
 #include "util/svg.h"
 #include "util/table.h"
@@ -125,6 +127,15 @@ HarnessSummary run_experiments(const Registry& registry, const HarnessOptions& o
   // invariant either way.
   context.contended_threads = selected.size() > 1 ? 1 : options.threads;
 
+  std::unique_ptr<obs::ProgressReporter> progress;
+  if (options.progress) {
+    obs::ProgressReporter::Options popt;
+    popt.label = "experiments";
+    popt.unit = "experiments";
+    popt.total_units = selected.size();
+    progress = std::make_unique<obs::ProgressReporter>(std::move(popt));
+  }
+
   // Independent experiments drain over the shared worker pool; each report
   // lands in its own slot, so the summary order is registration order no
   // matter which thread ran what.
@@ -149,8 +160,10 @@ HarnessSummary run_experiments(const Registry& registry, const HarnessOptions& o
       report.wall_ms = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start)
                            .count();
+      if (progress) progress->advance(1, 0, 0.0);
     };
   });
+  if (progress) progress->stop();
 
   for (std::size_t i = 0; i < summary.reports.size(); ++i) {
     ExperimentReport& report = summary.reports[i];

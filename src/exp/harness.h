@@ -19,6 +19,7 @@ struct HarnessOptions {
   std::size_t threads = 0;        ///< worker threads (0 = hardware concurrency)
   std::size_t replications = 3;   ///< contended-sweep replications per load point
   bool verbose = false;           ///< print every check, not just violations
+  bool progress = false;          ///< live heartbeat on stderr (obs::ProgressReporter)
 };
 
 /// One experiment's graded outcome.

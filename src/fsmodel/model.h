@@ -23,6 +23,9 @@ enum class FsOpType {
   readdir,
 };
 
+/// Number of FsOpType values — sizes per-op tally arrays (obs::OpTally).
+inline constexpr std::size_t kFsOpTypeCount = 10;
+
 /// Name of an op type ("open", "read", ...).
 const char* to_string(FsOpType type);
 

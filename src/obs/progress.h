@@ -1,0 +1,66 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace wlgen::obs {
+
+/// Live heartbeat on stderr for long runs: a background thread wakes every
+/// `interval_ms` and prints work-unit progress, events/s, the sim-time vs
+/// wall-time ratio, and an ETA.  The simulating workers only touch relaxed
+/// atomics (advance()), so progress never perturbs results — digests are
+/// identical with the reporter on or off.
+///
+/// Construct only when progress is requested; destruction (or stop()) joins
+/// the thread and prints a final summary line.
+class ProgressReporter {
+ public:
+  struct Options {
+    std::string label;            ///< run name shown on every line
+    std::string unit = "units";   ///< what a work unit is ("users", "jobs", ...)
+    std::size_t total_units = 0;  ///< 0 = unknown (no percentage/ETA)
+    int interval_ms = 1000;
+  };
+
+  explicit ProgressReporter(Options options);
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Records completed work: `units` finished work units, `events` simulator
+  /// events dispatched, `sim_us` of simulated time covered.  Relaxed atomic
+  /// adds — callable from any worker.
+  void advance(std::size_t units, std::uint64_t events, double sim_us);
+
+  /// Raises the simulated-clock high-water (shared-clock runs where sim time
+  /// is a max across observers rather than a per-unit sum).
+  void note_sim_time(double sim_us);
+
+  /// Joins the heartbeat thread and prints the final line (idempotent).
+  void stop();
+
+ private:
+  void loop();
+  void emit(bool final_line);
+
+  Options options_;
+  std::atomic<std::size_t> units_{0};
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> sim_us_{0};      ///< summed simulated µs
+  std::atomic<std::uint64_t> sim_us_max_{0};  ///< high-water simulated µs
+  std::chrono::steady_clock::time_point start_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace wlgen::obs

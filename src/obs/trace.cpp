@@ -1,0 +1,200 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace wlgen::obs {
+
+std::uint32_t TraceRing::intern(std::string_view name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+void TraceRing::push(const TraceEvent& event) {
+  ++pushed_;
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
+    return;
+  }
+  events_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRing::ordered() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+void TraceRing::append(const TraceRing& other) {
+  // Rebuild in push order first so appended events land after existing ones.
+  std::vector<TraceEvent> mine = ordered();
+  events_ = std::move(mine);
+  head_ = 0;
+  capacity_ += other.capacity_;
+  pushed_ += other.pushed_;
+  dropped_ += other.dropped_;
+  std::vector<std::uint32_t> remap(other.names_.size());
+  for (std::size_t i = 0; i < other.names_.size(); ++i) {
+    remap[i] = intern(other.names_[i]);
+  }
+  for (const TraceEvent& event : other.ordered()) {
+    TraceEvent copy = event;
+    copy.name_id = copy.name_id < remap.size() ? remap[copy.name_id] : 0;
+    if (events_.size() < capacity_) {
+      events_.push_back(copy);
+    }
+  }
+}
+
+TraceRing*& stage_trace_slot() {
+  thread_local TraceRing* slot = nullptr;
+  return slot;
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string number(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+// One "ph":"M" metadata line naming a pid (process_name) or tid (thread_name).
+void append_meta(std::string& out, const char* what, int pid, int tid,
+                 std::string_view name, bool* first) {
+  if (!*first) out += ",\n";
+  *first = false;
+  out += "  {\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"name\":\"";
+  out += what;
+  out += "\",\"args\":{\"name\":";
+  append_escaped(out, name);
+  out += "}}";
+}
+
+void append_span(std::string& out, int pid, std::uint32_t tid,
+                 std::string_view name, double ts, double dur, bool* first) {
+  if (!*first) out += ",\n";
+  *first = false;
+  out += "  {\"ph\":\"X\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  out += number(ts);
+  out += ",\"dur\":";
+  out += number(dur);
+  out += ",\"name\":";
+  append_escaped(out, name);
+  out += "}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceGroup>& groups) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const TraceGroup& group = groups[g];
+    if (group.ring == nullptr) continue;
+    const int pid = static_cast<int>(g) + 1;
+    std::string label = group.label;
+    label += group.virtual_time ? " (virtual us)" : " (wall us)";
+    if (group.ring->dropped() > 0) {
+      label += " [ring dropped " + std::to_string(group.ring->dropped()) + "]";
+    }
+    append_meta(out, "process_name", pid, 0, label, &first);
+
+    const std::vector<TraceEvent> events = group.ring->ordered();
+    const std::vector<std::string>& names = group.ring->names();
+
+    // Track (tid) names.  Ops/session tracks are keyed by user; stage tracks
+    // by resource name id; pool tracks by worker index.
+    std::map<std::uint32_t, std::string> tracks;
+    for (const TraceEvent& event : events) {
+      if (tracks.count(event.track)) continue;
+      std::string name;
+      if (group.by_session) {
+        name = "user " + std::to_string(event.track);
+      } else if (event.track < names.size() && group.virtual_time) {
+        name = names[event.track];
+      } else {
+        name = "worker " + std::to_string(event.track);
+      }
+      tracks.emplace(event.track, std::move(name));
+    }
+    for (const auto& [tid, name] : tracks) {
+      append_meta(out, "thread_name", pid, static_cast<int>(tid), name, &first);
+    }
+
+    if (group.by_session) {
+      // Synthesize session spans covering each (user, session)'s ops.
+      std::map<std::pair<std::uint32_t, std::uint32_t>, std::pair<double, double>> spans;
+      for (const TraceEvent& event : events) {
+        const auto key = std::make_pair(event.user, event.session);
+        auto [it, inserted] = spans.emplace(
+            key, std::make_pair(event.ts_us, event.ts_us + event.dur_us));
+        if (!inserted) {
+          if (event.ts_us < it->second.first) it->second.first = event.ts_us;
+          if (event.ts_us + event.dur_us > it->second.second) {
+            it->second.second = event.ts_us + event.dur_us;
+          }
+        }
+      }
+      for (const auto& [key, range] : spans) {
+        append_span(out, pid, key.first,
+                    "session " + std::to_string(key.second), range.first,
+                    range.second - range.first, &first);
+      }
+    }
+
+    for (const TraceEvent& event : events) {
+      const std::string& name =
+          event.name_id < names.size() ? names[event.name_id] : "?";
+      append_span(out, pid, event.track, name, event.ts_us, event.dur_us, &first);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace wlgen::obs

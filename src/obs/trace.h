@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wlgen::obs {
+
+/// One duration event destined for a Chrome trace-event JSON ("ph":"X").
+/// Names are interned into the owning TraceRing (see TraceRing::intern) so
+/// events never dangle on resources/models that die before serialization.
+struct TraceEvent {
+  double ts_us = 0.0;   ///< start (virtual µs for sim tracks, wall µs for pool)
+  double dur_us = 0.0;  ///< duration
+  std::uint32_t name_id = 0;  ///< index into TraceRing::names()
+  std::uint32_t track = 0;    ///< tid within the track group (user id, worker id, ...)
+  std::uint32_t user = 0;     ///< owning user (session grouping); 0 when n/a
+  std::uint32_t session = 0;  ///< owning session within user; 0 when n/a
+};
+
+/// Bounded event sink: a ring over the LAST `capacity` events pushed, so a
+/// million-user run traces a sampled (trailing) window in O(capacity)
+/// memory.  Each shard/job gets its own ring (its slice of the global
+/// `obs.trace_events` budget) touched by exactly one worker — no locks; the
+/// runner appends the rings in fixed shard order afterwards.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Registers (or finds) a name; the returned id is stable for this ring.
+  std::uint32_t intern(std::string_view name);
+
+  /// Records one event, evicting the oldest when full.
+  void push(const TraceEvent& event);
+
+  /// Events pushed but evicted (reported so a truncated trace says so).
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Total events ever pushed.
+  std::uint64_t pushed() const { return pushed_; }
+
+  std::size_t size() const { return events_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Events in push order (oldest first).
+  std::vector<TraceEvent> ordered() const;
+
+  /// Folds `other` in: capacity grows by other's capacity (the per-shard
+  /// budgets sum back to the run budget, so merging never evicts events a
+  /// shard chose to keep), names re-interned, events appended in order.
+  void append(const TraceRing& other);
+
+ private:
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;  ///< next eviction slot once events_ is full
+  std::uint64_t pushed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> names_;
+};
+
+/// Thread-local slot the stage executor checks: when a runner worker is
+/// simulating with tracing on, it points this at the shard's ring (via
+/// ScopedStageTrace) and sim::run_stage records one duration event per
+/// resource/delay stage.  Null — the default everywhere — means the stage
+/// path costs one predictable not-taken branch.
+TraceRing*& stage_trace_slot();
+
+/// RAII install/restore for stage_trace_slot(); save/restore semantics keep
+/// nested pools (scenario outer pool -> runner inner pool) correct.
+class ScopedStageTrace {
+ public:
+  explicit ScopedStageTrace(TraceRing* ring) : saved_(stage_trace_slot()) {
+    stage_trace_slot() = ring;
+  }
+  ~ScopedStageTrace() { stage_trace_slot() = saved_; }
+
+  ScopedStageTrace(const ScopedStageTrace&) = delete;
+  ScopedStageTrace& operator=(const ScopedStageTrace&) = delete;
+
+ private:
+  TraceRing* saved_;
+};
+
+/// One named track group in the emitted trace (one Chrome "process"):
+/// e.g. "nfs · sessions & ops (virtual µs)".  `by_session == true` adds
+/// synthesized session duration events spanning each (user, session)'s ops.
+struct TraceGroup {
+  std::string label;
+  const TraceRing* ring = nullptr;
+  bool virtual_time = true;  ///< tracks are virtual-time (vs wall-time)
+  bool by_session = false;   ///< synthesize session spans; tracks keyed by user
+};
+
+/// Serializes groups as a Chrome trace-event / Perfetto-loadable JSON
+/// document ({"traceEvents": [...], "displayTimeUnit": "ms"}).  Each group
+/// becomes one pid with process_name metadata; tracks become tids with
+/// thread_name metadata.
+std::string chrome_trace_json(const std::vector<TraceGroup>& groups);
+
+}  // namespace wlgen::obs

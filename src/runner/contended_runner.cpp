@@ -2,11 +2,13 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "core/presets.h"
 #include "fs/filesystem.h"
+#include "obs/progress.h"
 #include "runner/pool.h"
 #include "util/rng.h"
 
@@ -49,7 +51,8 @@ ContendedRunner::ContendedRunner(ContendedConfig config) : config_(std::move(con
 }
 
 void ContendedRunner::run_replication(sim::Simulation& sim, std::size_t users,
-                                      std::uint64_t seed, JobOutcome& out) const {
+                                      std::uint64_t seed, JobOutcome& out,
+                                      obs::SimSample* sample, obs::TraceRing* op_ring) const {
   sim.reset();
 
   fs::SimulatedFileSystem fsys;
@@ -70,7 +73,22 @@ void ContendedRunner::run_replication(sim::Simulation& sim, std::size_t users,
   usim_config.population_users = users;
   usim_config.seed = seed;
   usim_config.collect_log = false;  // aggregates only; replications do not share a log
-  usim_config.on_record = [&out](const core::OpRecord& r) { out.stats.add(r); };
+  // Same single-observation-point pattern as ShardedRunner::run_user: obs
+  // off means the historical record hook, bit for bit.
+  if (sample == nullptr) {
+    usim_config.on_record = [&out](const core::OpRecord& r) { out.stats.add(r); };
+  } else if (op_ring == nullptr) {
+    usim_config.on_record = [&out, sample](const core::OpRecord& r) {
+      out.stats.add(r);
+      sample->ops.add(r);
+    };
+  } else {
+    usim_config.on_record = [&out, sample, op_ring](const core::OpRecord& r) {
+      out.stats.add(r);
+      sample->ops.add(r);
+      obs::record_op(*op_ring, r);
+    };
+  }
 
   core::UserSimulator usim(sim, fsys, *model, manifest, config_.population, usim_config);
   usim.run();
@@ -79,6 +97,12 @@ void ContendedRunner::run_replication(sim::Simulation& sim, std::size_t users,
   out.ops = usim.total_ops();
   out.sessions = usim.sessions_completed();
   out.events = sim.events_processed();
+  if (sample != nullptr) {
+    sample->sim_events = out.events;
+    sample->heap_high_water = sim.arena_high_water();
+    sample->rng_draws = usim.rng_draws();
+    sample->sessions = out.sessions;
+  }
 }
 
 ContendedResult ContendedRunner::run() {
@@ -93,6 +117,31 @@ ContendedResult ContendedRunner::run() {
   std::vector<JobOutcome> outcomes(jobs, JobOutcome(config_.histogram));
   std::vector<ReplicationReport> reports(jobs);
 
+  // Observability sinks: per-job samples (fold in fixed job order) and
+  // per-job trace rings; all empty when obs is off.
+  const bool collect = config_.obs.collect();
+  const bool trace_on = config_.obs.trace();
+  std::vector<obs::SimSample> samples(collect ? jobs : 0);
+  std::vector<obs::TraceRing> op_rings;
+  std::vector<obs::TraceRing> stage_rings;
+  if (trace_on) {
+    const std::size_t share = obs::ring_share(config_.obs.trace_events / 2, jobs);
+    op_rings.assign(jobs, obs::TraceRing(share));
+    stage_rings.assign(jobs, obs::TraceRing(share));
+  }
+  std::optional<obs::ProgressReporter> progress;
+  if (config_.obs.progress) {
+    obs::ProgressReporter::Options options;
+    options.label = config_.obs.label.empty() ? "contended sweep" : config_.obs.label;
+    options.unit = "replications";
+    options.total_units = jobs;
+    options.interval_ms = config_.obs.progress_interval_ms;
+    progress.emplace(std::move(options));
+  }
+  PoolObs pool_obs;
+  pool_obs.record_spans = trace_on;
+  PoolObs* const pool_ptr = config_.obs.any() ? &pool_obs : nullptr;
+
   // Workers drain the (point x replication) grid; each owns one Simulation
   // whose clock and event arena are reset between jobs.  Job j = p * reps + r
   // writes only to slot j, so scheduling never touches shared state.
@@ -105,11 +154,14 @@ ContendedResult ContendedRunner::run() {
       const std::size_t users = config_.user_points[p];
       const std::uint64_t seed = replication_seed(config_.seed, r);
       const auto job_start = std::chrono::steady_clock::now();
-      run_replication(*sim, users, seed, outcomes[j]);
+      obs::ScopedStageTrace stage_trace(trace_on ? &stage_rings[j] : nullptr);
+      run_replication(*sim, users, seed, outcomes[j], collect ? &samples[j] : nullptr,
+                      trace_on ? &op_rings[j] : nullptr);
       reports[j] = {p, r, seed, outcomes[j].ops, outcomes[j].events,
                     outcomes[j].simulated_us, elapsed_ms(job_start)};
+      if (progress) progress->advance(1, outcomes[j].events, outcomes[j].simulated_us);
     };
-  });
+  }, pool_ptr);
 
   // Deterministic fold: fixed (point, replication) order, independent of
   // which thread produced each slot.
@@ -133,6 +185,24 @@ ContendedResult ContendedRunner::run() {
     result.points.push_back(std::move(point));
   }
   result.replications = std::move(reports);
+
+  if (progress) progress->stop();
+  if (collect) {
+    obs::SimSample merged;
+    for (std::size_t j = 0; j < jobs; ++j) merged.merge(samples[j]);
+    merged.export_into(result.registry);
+    if (pool_ptr != nullptr) obs::export_pool(pool_obs, result.registry);
+  }
+  if (trace_on) {
+    for (std::size_t j = 0; j < jobs; ++j) {
+      result.trace.ops.append(op_rings[j]);
+      result.trace.stages.append(stage_rings[j]);
+    }
+    result.trace.pool = obs::TraceRing(pool_obs.spans.size());
+    obs::pool_spans_into(pool_obs, result.trace.pool);
+  }
+  result.pool = std::move(pool_obs);
+
   result.wall_ms = elapsed_ms(run_start);
   return result;
 }

@@ -8,6 +8,7 @@
 #include "core/usim.h"
 #include "core/workload.h"
 #include "fsmodel/model.h"
+#include "obs/obs.h"
 #include "runner/model_factory.h"
 #include "runner/stats.h"
 #include "sim/simulation.h"
@@ -79,6 +80,10 @@ struct ContendedConfig {
   /// Optional tuning applied to every freshly built model (parameter
   /// ablations), invoked before any op is planned.
   std::function<void(fsmodel::FileSystemModel&)> tune_model;
+
+  /// Observability switches (all off by default — the default run takes
+  /// exactly the uninstrumented hot path).
+  obs::ObsConfig obs;
 };
 
 /// Per-replication execution accounting (reporting only — results never
@@ -119,6 +124,13 @@ struct ContendedResult {
   std::vector<ReplicationReport> replications;  ///< (point, replication) order
   std::uint64_t total_ops = 0;
   double wall_ms = 0.0;  ///< whole run, including merging
+
+  /// Merged observability outputs (empty/zero-capacity when obs is off).
+  /// Stable metrics fold per (point, replication) job in fixed job order,
+  /// so they are bit-identical for every thread count.
+  obs::Registry registry;
+  obs::RunTrace trace;
+  runner::PoolObs pool;
 };
 
 /// Replication-parallel contended simulation runner — the scale-out path for
@@ -155,9 +167,11 @@ class ContendedRunner {
   struct JobOutcome;
 
   /// Simulates one replication (all users of one sweep point) on the
-  /// worker's Simulation.
+  /// worker's Simulation.  `sample`/`op_ring` are the per-job obs sinks;
+  /// null means the uninstrumented record hook.
   void run_replication(sim::Simulation& sim, std::size_t users, std::uint64_t seed,
-                       JobOutcome& out) const;
+                       JobOutcome& out, obs::SimSample* sample,
+                       obs::TraceRing* op_ring) const;
 
   ContendedConfig config_;
   bool ran_ = false;

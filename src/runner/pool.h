@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace wlgen::runner {
 
@@ -34,8 +36,46 @@ std::size_t resolve_pool_threads(std::size_t requested, std::size_t jobs);
 /// calling thread after every worker has joined.  `threads == 1` (or a
 /// single job) runs inline with no thread spawned.
 ///
+/// Per-worker utilization accounting: how many jobs the worker executed and
+/// how its wall time split between running jobs (busy) and waiting for work
+/// or sitting behind slower peers (idle).  This is what makes a flat scaling
+/// curve self-diagnosing: saturated workers show busy ≈ wall, a starved pool
+/// shows idle dominating.
+struct PoolWorkerStat {
+  std::uint64_t jobs = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t idle_ns = 0;
+};
+
+/// One job's wall-clock span (for trace timelines), relative to drain_pool
+/// entry.
+struct PoolJobSpan {
+  std::uint32_t job = 0;
+  std::uint32_t worker = 0;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Optional drain_pool observation.  When passed, the pool records one
+/// PoolWorkerStat per worker and — when record_spans is set — a PoolJobSpan
+/// per job.  Costs two steady_clock reads per job; a null PoolObs* keeps the
+/// pool entirely clock-free.  Wall-clock numbers are scheduling-dependent by
+/// nature: reporting only, never folded into results.
+struct PoolObs {
+  bool record_spans = false;           ///< in: also record per-job spans
+  std::vector<PoolWorkerStat> workers; ///< out: one entry per worker
+  std::vector<PoolJobSpan> spans;      ///< out: per-job spans, worker-major order
+
+  std::uint64_t jobs() const;
+  std::uint64_t busy_ns() const;
+  std::uint64_t idle_ns() const;
+};
+
 /// This is the worker pool behind both runner::ShardedRunner (shards as
-/// jobs) and exp::run_experiments (experiments as jobs).
-void drain_pool(std::size_t count, std::size_t threads, const PoolWorkerFactory& make_worker);
+/// jobs) and exp::run_experiments (experiments as jobs).  `obs`, when
+/// non-null, receives per-worker utilization (and job spans); results are
+/// unaffected either way.
+void drain_pool(std::size_t count, std::size_t threads, const PoolWorkerFactory& make_worker,
+                PoolObs* obs = nullptr);
 
 }  // namespace wlgen::runner

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "core/presets.h"
 #include "fs/filesystem.h"
+#include "obs/progress.h"
 #include "runner/pool.h"
 
 namespace wlgen::runner {
@@ -33,7 +35,8 @@ ShardedRunner::ShardedRunner(RunnerConfig config) : config_(std::move(config)) {
   if (!config_.model_factory) config_.model_factory = nfs_model_factory();
 }
 
-void ShardedRunner::run_user(sim::Simulation& sim, std::size_t user, UserOutcome& out) const {
+void ShardedRunner::run_user(sim::Simulation& sim, std::size_t user, UserOutcome& out,
+                             obs::SimSample* sample, obs::TraceRing* op_ring) const {
   sim.reset();
 
   fs::SimulatedFileSystem fsys;
@@ -53,7 +56,22 @@ void ShardedRunner::run_user(sim::Simulation& sim, std::size_t user, UserOutcome
   usim_config.population_users = config_.num_users;
   usim_config.seed = config_.seed;
   usim_config.collect_log = config_.collect_log;
-  usim_config.on_record = [&out](const core::OpRecord& r) { out.stats.add(r); };
+  // The record hook is the single observation point: when obs is off the
+  // lambda is exactly the historical one, so the hot path is unchanged.
+  if (sample == nullptr) {
+    usim_config.on_record = [&out](const core::OpRecord& r) { out.stats.add(r); };
+  } else if (op_ring == nullptr) {
+    usim_config.on_record = [&out, sample](const core::OpRecord& r) {
+      out.stats.add(r);
+      sample->ops.add(r);
+    };
+  } else {
+    usim_config.on_record = [&out, sample, op_ring](const core::OpRecord& r) {
+      out.stats.add(r);
+      sample->ops.add(r);
+      obs::record_op(*op_ring, r);
+    };
+  }
 
   core::UserSimulator usim(sim, fsys, *model, manifest, config_.population, usim_config);
   usim.run();
@@ -63,6 +81,12 @@ void ShardedRunner::run_user(sim::Simulation& sim, std::size_t user, UserOutcome
   out.ops = usim.total_ops();
   out.sessions = usim.sessions_completed();
   out.events = sim.events_processed();
+  if (sample != nullptr) {
+    sample->sim_events = out.events;
+    sample->heap_high_water = sim.arena_high_water();
+    sample->rng_draws = usim.rng_draws();
+    sample->sessions = out.sessions;
+  }
 }
 
 RunnerResult ShardedRunner::run() {
@@ -80,6 +104,32 @@ RunnerResult ShardedRunner::run() {
     reports[s].range = ranges[s];
   }
 
+  // Observability sinks: per-user samples (merge in user order, like stats)
+  // and per-shard trace rings (each touched by one worker, appended in
+  // shard order).  All empty when obs is off.
+  const bool collect = config_.obs.collect();
+  const bool trace_on = config_.obs.trace();
+  std::vector<obs::SimSample> samples(collect ? num_users : 0);
+  std::vector<obs::TraceRing> op_rings;
+  std::vector<obs::TraceRing> stage_rings;
+  if (trace_on) {
+    const std::size_t share = obs::ring_share(config_.obs.trace_events / 2, ranges.size());
+    op_rings.assign(ranges.size(), obs::TraceRing(share));
+    stage_rings.assign(ranges.size(), obs::TraceRing(share));
+  }
+  std::optional<obs::ProgressReporter> progress;
+  if (config_.obs.progress) {
+    obs::ProgressReporter::Options options;
+    options.label = config_.obs.label.empty() ? "sharded run" : config_.obs.label;
+    options.unit = "users";
+    options.total_units = num_users;
+    options.interval_ms = config_.obs.progress_interval_ms;
+    progress.emplace(std::move(options));
+  }
+  PoolObs pool_obs;
+  pool_obs.record_spans = trace_on;
+  PoolObs* const pool_ptr = config_.obs.any() ? &pool_obs : nullptr;
+
   // Workers drain the shard queue (runner::drain_pool); each owns one
   // Simulation whose clock and event arena are reset between users, so the
   // arena's allocation ramp-up is paid once per worker, not once per user.
@@ -90,19 +140,24 @@ RunnerResult ShardedRunner::run() {
     auto sim = std::make_shared<sim::Simulation>();
     return [&, sim](std::size_t s, const std::atomic<bool>& cancelled) {
       const auto shard_start = std::chrono::steady_clock::now();
+      // Installs this shard's stage ring (or null) for the worker while it
+      // runs this shard; save/restore keeps nested pools correct.
+      obs::ScopedStageTrace stage_trace(trace_on ? &stage_rings[s] : nullptr);
       std::uint64_t events = 0;
       std::uint64_t ops = 0;
       for (std::size_t u = ranges[s].begin; u < ranges[s].end; ++u) {
         if (cancelled.load(std::memory_order_relaxed)) return;
-        run_user(*sim, u, outcomes[u]);
+        run_user(*sim, u, outcomes[u], collect ? &samples[u] : nullptr,
+                 trace_on ? &op_rings[s] : nullptr);
         events += outcomes[u].events;
         ops += outcomes[u].ops;
+        if (progress) progress->advance(1, outcomes[u].events, outcomes[u].simulated_us);
       }
       reports[s].wall_ms = elapsed_ms(shard_start);
       reports[s].events = events;
       reports[s].ops = ops;
     };
-  });
+  }, pool_ptr);
 
   // Deterministic fold: ascending global user order, independent of which
   // shard or thread produced each slot.
@@ -120,6 +175,24 @@ RunnerResult ShardedRunner::run() {
   }
   if (config_.collect_log) result.log = merge_user_logs(std::move(user_logs));
   result.shards = std::move(reports);
+
+  if (progress) progress->stop();
+  if (collect) {
+    obs::SimSample merged;
+    for (std::size_t u = 0; u < num_users; ++u) merged.merge(samples[u]);
+    merged.export_into(result.registry);
+  }
+  if (pool_ptr != nullptr && collect) obs::export_pool(pool_obs, result.registry);
+  if (trace_on) {
+    for (std::size_t s = 0; s < ranges.size(); ++s) {
+      result.trace.ops.append(op_rings[s]);
+      result.trace.stages.append(stage_rings[s]);
+    }
+    result.trace.pool = obs::TraceRing(pool_obs.spans.size());
+    obs::pool_spans_into(pool_obs, result.trace.pool);
+  }
+  result.pool = std::move(pool_obs);
+
   result.wall_ms = elapsed_ms(run_start);
   return result;
 }

@@ -10,6 +10,7 @@
 #include "core/usim.h"
 #include "core/workload.h"
 #include "fsmodel/model.h"
+#include "obs/obs.h"
 #include "runner/merge.h"
 #include "runner/model_factory.h"
 #include "runner/partition.h"
@@ -60,6 +61,10 @@ struct RunnerConfig {
 
   /// Model per user (null = nfs_model_factory()).
   ModelFactory model_factory;
+
+  /// Observability switches (all off by default — the default run takes
+  /// exactly the uninstrumented hot path).
+  obs::ObsConfig obs;
 };
 
 /// Per-shard execution accounting (reporting only — results never depend
@@ -89,6 +94,14 @@ struct RunnerResult {
 
   std::vector<ShardReport> shards;
   double wall_ms = 0.0;  ///< whole run, including partitioning and merging
+
+  /// Merged observability outputs (empty/zero-capacity when obs is off).
+  /// The stable metrics fold per-user in ascending user order, so they are
+  /// bit-identical for every (shards, threads) choice — same contract as
+  /// `stats`.
+  obs::Registry registry;
+  obs::RunTrace trace;
+  PoolObs pool;
 };
 
 /// Shard-parallel simulation runner — the scale-out path to the ROADMAP's
@@ -123,8 +136,11 @@ class ShardedRunner {
  private:
   struct UserOutcome;
 
-  /// Simulates one user's universe on the worker's Simulation.
-  void run_user(sim::Simulation& sim, std::size_t user, UserOutcome& out) const;
+  /// Simulates one user's universe on the worker's Simulation.  `sample`
+  /// (when collecting metrics) and `op_ring` (when tracing) are per-user /
+  /// per-shard obs sinks; null means the uninstrumented record hook.
+  void run_user(sim::Simulation& sim, std::size_t user, UserOutcome& out,
+                obs::SimSample* sample, obs::TraceRing* op_ring) const;
 
   RunnerConfig config_;
   bool ran_ = false;

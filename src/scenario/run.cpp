@@ -14,6 +14,7 @@
 #include "core/replay.h"
 #include "core/usim.h"
 #include "fs/filesystem.h"
+#include "obs/progress.h"
 #include "runner/contended_runner.h"
 #include "runner/pool.h"
 #include "runner/sharded_runner.h"
@@ -39,11 +40,26 @@ runner::RunnerStats stats_of_log(const core::UsageLog& log) {
   return stats;
 }
 
+/// Effective obs switches of one invocation: the spec's [obs] keys with the
+/// CLI overrides applied on top.
+obs::ObsConfig resolve_obs(const ScenarioSpec& spec, const RunOptions& options) {
+  obs::ObsConfig obs;
+  obs.metrics_file = options.metrics_file.empty() ? spec.obs_metrics : options.metrics_file;
+  obs.trace_file = options.trace_file.empty() ? spec.obs_trace : options.trace_file;
+  obs.trace_events = options.trace_events.value_or(spec.obs_trace_events);
+  obs.progress = options.progress.value_or(spec.obs_progress);
+  obs.label = spec.name;
+  return obs;
+}
+
 /// One serial shared-machine USIM run — the classic single-Simulation path,
 /// used by replay mode both to record the trace and to generate the
-/// synthetic comparison leg.
+/// synthetic comparison leg.  `sample`, when non-null, receives the run's
+/// sim/RNG observability counters (op tallies are the caller's job — it
+/// owns the returned log).
 core::UsageLog generate_shared(const ScenarioSpec& spec, const ModelChoice& model,
-                               std::size_t users, std::uint64_t& sessions_out) {
+                               std::size_t users, std::uint64_t& sessions_out,
+                               obs::SimSample* sample = nullptr) {
   sim::Simulation simulation;
   fs::SimulatedFileSystem fsys;
   fsys.set_clock([&simulation] { return simulation.now(); });
@@ -61,11 +77,17 @@ core::UsageLog generate_shared(const ScenarioSpec& spec, const ModelChoice& mode
   core::UserSimulator usim(simulation, fsys, *fsmodel, manifest, spec.population(), config);
   usim.run();
   sessions_out = usim.sessions_completed();
+  if (sample != nullptr) {
+    sample->sim_events = simulation.events_processed();
+    sample->heap_high_water = simulation.arena_high_water();
+    sample->rng_draws = usim.rng_draws();
+    sample->sessions = sessions_out;
+  }
   return usim.take_log();
 }
 
 ModelOutcome run_sharded(const ScenarioSpec& spec, const ModelChoice& model,
-                         std::size_t threads) {
+                         std::size_t threads, const obs::ObsConfig& obs) {
   runner::RunnerConfig config;
   config.num_users = spec.user_points.front();
   config.shards = spec.shards;
@@ -75,6 +97,7 @@ ModelOutcome run_sharded(const ScenarioSpec& spec, const ModelChoice& model,
   config.population = spec.population();
   config.collect_log = spec.collect_log;
   config.model_factory = model.factory();
+  config.obs = obs;
 
   runner::ShardedRunner run(std::move(config));
   runner::RunnerResult result = run.run();
@@ -89,11 +112,13 @@ ModelOutcome run_sharded(const ScenarioSpec& spec, const ModelChoice& model,
   point.sessions = result.sessions_completed;
   outcome.points.push_back(std::move(point));
   outcome.log = std::move(result.log);
+  outcome.registry = std::move(result.registry);
+  outcome.trace = std::move(result.trace);
   return outcome;
 }
 
 ModelOutcome run_contended(const ScenarioSpec& spec, const ModelChoice& model,
-                           std::size_t threads) {
+                           std::size_t threads, const obs::ObsConfig& obs) {
   runner::ContendedConfig config;
   config.user_points = spec.user_points;
   config.replications = spec.replications;
@@ -103,9 +128,10 @@ ModelOutcome run_contended(const ScenarioSpec& spec, const ModelChoice& model,
   config.usim = spec.usim_config();
   config.population = spec.population();
   config.model_factory = model.factory();
+  config.obs = obs;
 
   runner::ContendedRunner run(std::move(config));
-  const runner::ContendedResult result = run.run();
+  runner::ContendedResult result = run.run();
 
   ModelOutcome outcome;
   outcome.model = model.name;
@@ -118,14 +144,26 @@ ModelOutcome run_contended(const ScenarioSpec& spec, const ModelChoice& model,
     point.sessions = p.sessions_completed;
     outcome.points.push_back(std::move(point));
   }
+  outcome.registry = std::move(result.registry);
+  outcome.trace = std::move(result.trace);
   return outcome;
 }
 
 ModelOutcome run_replay(const ScenarioSpec& spec, const ModelChoice& model,
                         const core::UsageLog& trace, std::size_t trace_users,
-                        std::uint64_t trace_sessions) {
+                        std::uint64_t trace_sessions, const obs::ObsConfig& obs) {
   ModelOutcome outcome;
   outcome.model = model.name;
+
+  const bool collect = obs.collect();
+  const bool trace_on = obs.trace();
+  if (trace_on) {
+    const std::size_t share = obs::ring_share(obs.trace_events / 2, 1);
+    outcome.trace.ops = obs::TraceRing(share);
+    outcome.trace.stages = obs::TraceRing(share);
+  }
+  // Replay is serial: the model-stage ring can stay installed for both legs.
+  obs::ScopedStageTrace stage_trace(trace_on ? &outcome.trace.stages : nullptr);
 
   sim::Simulation simulation;
   auto fsmodel = model.factory()(simulation);
@@ -134,6 +172,19 @@ ModelOutcome run_replay(const ScenarioSpec& spec, const ModelChoice& model,
   options.preserve_timing = !spec.closed_loop;
   options.time_scale = spec.time_scale;
   core::UsageLog replayed = replayer.run(options);
+
+  obs::SimSample merged;
+  if (collect) {
+    obs::SimSample sample;
+    sample.sim_events = simulation.events_processed();
+    sample.heap_high_water = simulation.arena_high_water();
+    sample.sessions = trace_sessions;
+    for (const auto& record : replayed.records()) {
+      sample.ops.add(record);
+      if (trace_on) obs::record_op(outcome.trace.ops, record);
+    }
+    merged.merge(sample);
+  }
 
   PointOutcome replay_point;
   replay_point.label = spec.closed_loop ? "trace replay (closed loop)"
@@ -150,8 +201,16 @@ ModelOutcome run_replay(const ScenarioSpec& spec, const ModelChoice& model,
     // The paper's section 2.1 contrast: the generator can answer the
     // "what about N users?" question the trace cannot.
     std::uint64_t sessions = 0;
-    const core::UsageLog synthetic =
-        generate_shared(spec, model, spec.synthetic_users, sessions);
+    obs::SimSample synthetic_sample;
+    const core::UsageLog synthetic = generate_shared(
+        spec, model, spec.synthetic_users, sessions, collect ? &synthetic_sample : nullptr);
+    if (collect) {
+      for (const auto& record : synthetic.records()) {
+        synthetic_sample.ops.add(record);
+        if (trace_on) obs::record_op(outcome.trace.ops, record);
+      }
+      merged.merge(synthetic_sample);
+    }
     PointOutcome point;
     point.label = "synthetic";
     point.users = spec.synthetic_users;
@@ -161,6 +220,7 @@ ModelOutcome run_replay(const ScenarioSpec& spec, const ModelChoice& model,
     point.sessions = sessions;
     outcome.points.push_back(std::move(point));
   }
+  if (collect) merged.export_into(outcome.registry);
   return outcome;
 }
 
@@ -232,6 +292,17 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& options
 
   ScenarioOutcome outcome;
 
+  // Per-model obs slices: each backend gets a labelled copy with an equal
+  // share of the trace-ring budget (the shares sum to the run budget, so
+  // merging never evicts).
+  const obs::ObsConfig effective_obs = resolve_obs(spec, options);
+  std::vector<obs::ObsConfig> model_obs(spec.models.size(), effective_obs);
+  for (std::size_t m = 0; m < spec.models.size(); ++m) {
+    model_obs[m].label = spec.name + "/" + spec.models[m].name;
+    model_obs[m].trace_events =
+        obs::ring_share(effective_obs.trace_events, spec.models.size());
+  }
+
   // Replay mode shares one trace across every backend: record it on the
   // first model (or load it) so the comparison replays identical input.
   core::UsageLog trace;
@@ -271,13 +342,14 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& options
       const ModelChoice& model = spec.models[index];
       switch (spec.mode) {
         case RunMode::sharded:
-          outcome.models[index] = run_sharded(spec, model, inner);
+          outcome.models[index] = run_sharded(spec, model, inner, model_obs[index]);
           break;
         case RunMode::contended:
-          outcome.models[index] = run_contended(spec, model, inner);
+          outcome.models[index] = run_contended(spec, model, inner, model_obs[index]);
           break;
         case RunMode::replay:
-          outcome.models[index] = run_replay(spec, model, trace, trace_users, trace_sessions);
+          outcome.models[index] = run_replay(spec, model, trace, trace_users,
+                                             trace_sessions, model_obs[index]);
           break;
       }
     };
@@ -300,6 +372,34 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& options
   outcome.wall_ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
                         .count();
+
+  // Observability artifacts, assembled in spec model order so the documents
+  // — like the digest — never depend on completion order.
+  if (effective_obs.collect()) {
+    std::ostringstream obs_text;
+    for (const auto& model : outcome.models) {
+      obs_text << "model " << model.model << "\n" << model.registry.stable_text();
+    }
+    outcome.obs_text = obs_text.str();
+  }
+  if (effective_obs.metrics()) {
+    util::JsonValue doc = obs::metrics_document(spec.name, outcome.wall_ms);
+    for (const auto& model : outcome.models) {
+      obs::add_metrics_group(doc, model.model, model.registry);
+    }
+    outcome.metrics_json = doc.dump();
+    util::write_text_file(effective_obs.metrics_file, outcome.metrics_json);
+  }
+  if (effective_obs.trace()) {
+    std::vector<obs::TraceGroup> groups;
+    for (const auto& model : outcome.models) {
+      for (auto& group : obs::run_trace_groups(model.model, model.trace)) {
+        groups.push_back(std::move(group));
+      }
+    }
+    outcome.trace_json = obs::chrome_trace_json(groups);
+    util::write_text_file(effective_obs.trace_file, outcome.trace_json);
+  }
   return outcome;
 }
 

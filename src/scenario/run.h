@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/usage_log.h"
+#include "obs/obs.h"
 #include "runner/stats.h"
 #include "scenario/spec.h"
 #include "stats/summary.h"
@@ -17,6 +18,14 @@ struct RunOptions {
   /// Overrides ScenarioSpec::threads when set (the CLI --threads flag).
   /// Purely an execution knob: results are bit-identical either way.
   std::optional<std::size_t> threads;
+
+  /// CLI overrides for the spec's [obs] keys (--metrics/--trace/
+  /// --trace-events/--progress).  Like every obs switch, they never change
+  /// results or digests.
+  std::string metrics_file;                ///< non-empty overrides obs.metrics
+  std::string trace_file;                  ///< non-empty overrides obs.trace
+  std::optional<std::size_t> trace_events; ///< overrides obs.trace_events
+  std::optional<bool> progress;            ///< overrides obs.progress
 };
 
 /// Merged statistics of one measured point (one load point of a contended
@@ -41,6 +50,11 @@ struct ModelOutcome {
   /// Merged usage log (sharded with collect_log) or replayed log (replay);
   /// empty otherwise.
   core::UsageLog log;
+
+  /// Per-model observability outputs (empty when obs is off).  The stable
+  /// registry metrics follow the owning runner's merge contract.
+  obs::Registry registry;
+  obs::RunTrace trace;
 };
 
 /// Result of compiling and executing one scenario.
@@ -54,6 +68,15 @@ struct ScenarioOutcome {
   /// artifact `output.stats` writes, and the value tests pin to prove
   /// thread-count invariance (%.17g doubles: equal bits => equal text).
   std::string stats_digest;
+
+  /// Obs artifacts ("" when the corresponding switch is off).  metrics_json
+  /// is the full `--metrics` report; trace_json the Chrome trace document;
+  /// obs_text the exact text of every *stable* metric, model by model — the
+  /// determinism tests pin obs_text across shard/thread counts exactly like
+  /// stats_digest.
+  std::string metrics_json;
+  std::string trace_json;
+  std::string obs_text;
 };
 
 /// Compiles `spec` onto ShardedRunner / ContendedRunner / TraceReplayer and

@@ -154,6 +154,7 @@ ScenarioSpec ScenarioSpec::parse(const util::Config& config) {
       "sharded.shards", "sharded.collect_log",
       "contended.replications", "contended.confidence",
       "replay.trace", "replay.closed_loop", "replay.time_scale", "replay.synthetic_users",
+      "obs.metrics", "obs.trace", "obs.trace_events", "obs.progress",
       "output.log", "output.stats",
   };
   config.require_known(known, {"model."});
@@ -228,6 +229,15 @@ ScenarioSpec ScenarioSpec::parse(const util::Config& config) {
   spec.time_scale = config.get_double("replay.time_scale", 1.0);
   if (spec.time_scale <= 0.0) fail(config, "replay.time_scale", "expects a positive factor");
   spec.synthetic_users = config.get_size("replay.synthetic_users", 0);
+
+  // [obs]
+  spec.obs_metrics = config.get_string("obs.metrics", "");
+  spec.obs_trace = config.get_string("obs.trace", "");
+  spec.obs_trace_events = config.get_size("obs.trace_events", 65536);
+  if (config.has("obs.trace_events") && spec.obs_trace_events == 0) {
+    fail(config, "obs.trace_events", "expects a positive trace-ring budget");
+  }
+  spec.obs_progress = config.get_bool("obs.progress", false);
 
   // [output]
   spec.log_file = config.get_string("output.log", "");
@@ -314,6 +324,11 @@ std::string ScenarioSpec::summary() const {
       out << "\n";
       break;
   }
+  if (!obs_metrics.empty()) out << "  obs metrics: " << obs_metrics << "\n";
+  if (!obs_trace.empty()) {
+    out << "  obs trace: " << obs_trace << " (ring " << obs_trace_events << " events)\n";
+  }
+  if (obs_progress) out << "  obs progress: on\n";
   if (!log_file.empty()) out << "  output log: " << log_file << "\n";
   if (!stats_file.empty()) out << "  output stats: " << stats_file << "\n";
   return out.str();

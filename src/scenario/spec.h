@@ -77,6 +77,13 @@ struct ScenarioSpec {
   double time_scale = 1.0;
   std::size_t synthetic_users = 0;  ///< >0 adds the synthetic comparison run
 
+  // [obs] — observability (docs/SCENARIOS.md "Observability keys").  All
+  // off by default; none of them ever changes results or digests.
+  std::string obs_metrics;  ///< metrics JSON report file ("" = off)
+  std::string obs_trace;    ///< Chrome trace JSON file ("" = off)
+  std::size_t obs_trace_events = 65536;  ///< trace ring budget (events)
+  bool obs_progress = false;             ///< heartbeat lines on stderr
+
   // [output]
   std::string log_file;    ///< merged/replayed usage log (not contended)
   std::string stats_file;  ///< deterministic merged-stats digest

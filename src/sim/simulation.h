@@ -72,6 +72,14 @@ class Simulation {
   /// Number of events currently pending.
   std::size_t pending() const { return heap_keys_.size(); }
 
+  /// High-water mark of concurrently-pending events since the last reset().
+  /// The arena only grows a slot when every existing slot is live, so its
+  /// size IS the maximum simultaneous event count — a pure accessor, no
+  /// hot-path bookkeeping.  reset() clears the slots (keeping capacity), so
+  /// on the shard runner's reuse path this reports the current user's own
+  /// peak, deterministic per user.
+  std::size_t arena_high_water() const { return slots_.size(); }
+
  private:
   /// Hot half of a heap entry: everything the sift comparisons read.  The
   /// arena slot rides in the parallel heap_slots_ array (the callback

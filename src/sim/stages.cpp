@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace wlgen::sim {
 
 Stage Stage::make_delay(SimTime duration) {
@@ -31,24 +33,52 @@ struct ChainState {
   SimTime start;
 };
 
+// Template keeps the continuation's concrete type: delay stages hand the raw
+// lambda to Simulation::schedule (inline in EventFn, allocation-free), just
+// as before the trace hook existed.
+template <typename Fn>
+void dispatch_stage(const std::shared_ptr<ChainState>& state, const Stage& stage,
+                    Fn&& continuation) {
+  switch (stage.kind) {
+    case Stage::Kind::delay:
+      state->sim.schedule(stage.duration, std::forward<Fn>(continuation));
+      break;
+    case Stage::Kind::use:
+      if (stage.resource == nullptr) {
+        throw std::logic_error("execute_chain: use stage without resource");
+      }
+      stage.resource->use(stage.duration, std::forward<Fn>(continuation));
+      break;
+  }
+}
+
 void run_stage(const std::shared_ptr<ChainState>& state, std::size_t index) {
   if (index >= state->chain.size()) {
     state->done(state->sim.now() - state->start);
     return;
   }
   const Stage& stage = state->chain[index];
-  auto continuation = [state, index]() { run_stage(state, index + 1); };
-  switch (stage.kind) {
-    case Stage::Kind::delay:
-      state->sim.schedule(stage.duration, std::move(continuation));
-      break;
-    case Stage::Kind::use:
-      if (stage.resource == nullptr) {
-        throw std::logic_error("execute_chain: use stage without resource");
-      }
-      stage.resource->use(stage.duration, std::move(continuation));
-      break;
+  // One thread-local load + predictable branch when tracing is off; the
+  // traced continuation schedules the same events at the same times, so the
+  // simulated outcome — and every stats digest — is identical either way.
+  obs::TraceRing* ring = obs::stage_trace_slot();
+  if (ring == nullptr) {
+    dispatch_stage(state, stage, [state, index]() { run_stage(state, index + 1); });
+    return;
   }
+  const SimTime t0 = state->sim.now();
+  const std::uint32_t name_id = ring->intern(
+      stage.kind == Stage::Kind::use && stage.resource != nullptr ? stage.resource->name()
+                                                                  : "delay");
+  dispatch_stage(state, stage, [state, index, ring, name_id, t0]() {
+    obs::TraceEvent event;
+    event.ts_us = t0;
+    event.dur_us = state->sim.now() - t0;
+    event.name_id = name_id;
+    event.track = name_id;  // one virtual-time track per resource name
+    ring->push(event);
+    run_stage(state, index + 1);
+  });
 }
 
 }  // namespace

@@ -34,6 +34,10 @@ const std::vector<util::CommandSpec>& command_specs() {
            {"contended", "", "run the shared-machine sweep through the contended runner"},
            {"users-sweep", "A:B:STEP", "contended load points (default 1:6:1)"},
            {"replications", "R", "contended replications per load point (default 3)"},
+           {"metrics", "OUT.json", "write an observability metrics report"},
+           {"trace", "OUT.json", "write a Chrome-loadable span trace"},
+           {"trace-events", "N", "trace ring budget in events (default 65536)"},
+           {"progress", "", "live progress heartbeat on stderr"},
        }},
       {"analyze",
        "<log.tsv>",
@@ -60,6 +64,7 @@ const std::vector<util::CommandSpec>& command_specs() {
            {"threads", "N", "harness worker threads (0 = hardware)"},
            {"replications", "R", "contended replications per load point (default 3)"},
            {"verbose", "", "print per-experiment progress"},
+           {"progress", "", "live progress heartbeat on stderr"},
        }},
       {"scenario",
        "run <file.scn>...",
@@ -69,7 +74,15 @@ const std::vector<util::CommandSpec>& command_specs() {
            {"print", "FILE", "parse a scenario and print its resolved spec"},
            {"dir", "DIR", "scenario library directory for --list (default scenarios)"},
            {"threads", "N", "override every scenario's thread count (results unchanged)"},
+           {"metrics", "OUT.json", "override/enable the obs.metrics report file"},
+           {"trace", "OUT.json", "override/enable the obs.trace span trace file"},
+           {"trace-events", "N", "override the obs.trace_events ring budget"},
+           {"progress", "", "force the live progress heartbeat on"},
        }},
+      {"version",
+       "",
+       "print build provenance (git SHA, build type, compiler)",
+       {}},
   };
   return specs;
 }

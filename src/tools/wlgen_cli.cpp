@@ -19,6 +19,7 @@
 // --check` also exits 1 when any experiment's verdict is FAIL.
 
 #include <atomic>
+#include <chrono>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -37,6 +38,8 @@
 #include "core/usim.h"
 #include "exp/harness.h"
 #include "experiments.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
 #include "runner/contended_runner.h"
 #include "runner/pool.h"
 #include "runner/sharded_runner.h"
@@ -45,9 +48,11 @@
 #include "tools/cli_spec.h"
 #include "util/args.h"
 #include "util/ascii_plot.h"
+#include "util/json.h"
 #include "util/strings.h"
 #include "util/svg.h"
 #include "util/table.h"
+#include "util/version.h"
 
 namespace {
 
@@ -63,6 +68,44 @@ std::unique_ptr<fsmodel::FileSystemModel> make_model(const std::string& name,
                                                      sim::Simulation& simulation) {
   // One nfs|local|wholefile dispatch table for both CLI paths.
   return runner::model_factory_by_name(name)(simulation);
+}
+
+/// The `run` command's --metrics/--trace/--trace-events/--progress flags as
+/// an ObsConfig (everything off when none are given).
+obs::ObsConfig obs_from_args(const Args& args, const std::string& label) {
+  obs::ObsConfig obs;
+  obs.metrics_file = args.get("metrics", "");
+  obs.trace_file = args.get("trace", "");
+  obs.trace_events = args.count("trace-events", 65536);
+  obs.progress = args.boolean("progress");
+  obs.label = label;
+  return obs;
+}
+
+/// Writes the --metrics / --trace artifacts of one labelled run.
+void write_obs_artifacts(const obs::ObsConfig& obs, const obs::Registry& registry,
+                         const obs::RunTrace& trace, double wall_ms) {
+  if (obs.metrics()) {
+    util::JsonValue doc = obs::metrics_document(obs.label, wall_ms);
+    obs::add_metrics_group(doc, obs.label, registry);
+    util::write_text_file(obs.metrics_file, doc.dump());
+    std::cout << "metrics report written to " << obs.metrics_file << "\n";
+  }
+  if (obs.trace()) {
+    util::write_text_file(obs.trace_file,
+                          obs::chrome_trace_json(obs::run_trace_groups(obs.label, trace)));
+    std::cout << "trace written to " << obs.trace_file << "\n";
+  }
+}
+
+/// One-line pool utilization summary (collected only when obs is on).
+void print_pool_utilization(const runner::PoolObs& pool) {
+  if (pool.workers.empty()) return;
+  const double busy = static_cast<double>(pool.busy_ns());
+  const double total = busy + static_cast<double>(pool.idle_ns());
+  std::cout << "pool: " << pool.workers.size() << " workers, " << pool.jobs() << " jobs, "
+            << util::TextTable::num(total > 0.0 ? 100.0 * busy / total : 0.0, 1)
+            << "% busy\n";
 }
 
 int cmd_gds(const Args& args) {
@@ -125,6 +168,7 @@ int cmd_run_sharded(const Args& args, std::size_t users, std::size_t sessions,
   config.usim.sessions_per_user = sessions;
   config.population = std::move(population);
   config.model_factory = runner::model_factory_by_name(args.get("model", "nfs"));
+  config.obs = obs_from_args(args, "run --shards");
 
   runner::ShardedRunner run(std::move(config));
   const runner::RunnerResult result = run.run();
@@ -155,6 +199,11 @@ int cmd_run_sharded(const Args& args, std::size_t users, std::size_t sessions,
   if (args.flags.count("log")) {
     util::write_text_file(args.get("log", ""), result.log.serialize());
     std::cout << "\nusage log written to " << args.get("log", "") << "\n";
+  }
+  if (run.config().obs.collect()) {
+    std::cout << "\n";
+    print_pool_utilization(result.pool);
+    write_obs_artifacts(run.config().obs, result.registry, result.trace, result.wall_ms);
   }
   return 0;
 }
@@ -192,6 +241,7 @@ int cmd_run_contended(const Args& args, std::size_t sessions, std::uint64_t seed
   config.usim.sessions_per_user = sessions;
   config.population = std::move(population);
   config.model_factory = runner::model_factory_by_name(args.get("model", "nfs"));
+  config.obs = obs_from_args(args, "run --contended");
 
   runner::ContendedRunner run(std::move(config));
   const runner::ContendedResult result = run.run();
@@ -212,6 +262,11 @@ int cmd_run_contended(const Args& args, std::size_t sessions, std::uint64_t seed
                     std::to_string(p.total_ops), std::to_string(p.sessions_completed)});
   }
   std::cout << points.render();
+  if (run.config().obs.collect()) {
+    std::cout << "\n";
+    print_pool_utilization(result.pool);
+    write_obs_artifacts(run.config().obs, result.registry, result.trace, result.wall_ms);
+  }
   return 0;
 }
 
@@ -269,6 +324,30 @@ int cmd_run(const Args& args) {
         "require --contended (see DESIGN.md)");
   }
 
+  // Classic-path observability: the merged log survives the run, so metrics
+  // and op spans are tallied post-hoc from it; only model-stage spans (the
+  // thread-local trace slot) and the heartbeat hook in live.
+  const auto wall_start = std::chrono::steady_clock::now();
+  const obs::ObsConfig obs_cfg = obs_from_args(args, "run");
+  obs::RunTrace run_trace;
+  if (obs_cfg.trace()) {
+    const std::size_t share = obs::ring_share(obs_cfg.trace_events / 2, 1);
+    run_trace.ops = obs::TraceRing(share);
+    run_trace.stages = obs::TraceRing(share);
+  }
+  obs::ScopedStageTrace stage_trace(obs_cfg.trace() ? &run_trace.stages : nullptr);
+  std::unique_ptr<obs::ProgressReporter> progress;
+  if (obs_cfg.progress) {
+    obs::ProgressReporter::Options popt;
+    popt.label = "run";
+    popt.unit = "ops";
+    progress = std::make_unique<obs::ProgressReporter>(std::move(popt));
+    config.on_record = [&progress](const core::OpRecord& record) {
+      progress->advance(1, 0, 0.0);
+      progress->note_sim_time(record.issue_time_us + record.response_us);
+    };
+  }
+
   sim::Simulation simulation;
   fs::SimulatedFileSystem fsys;
   fsys.set_clock([&simulation] { return simulation.now(); });
@@ -282,6 +361,7 @@ int cmd_run(const Args& args) {
 
   core::UserSimulator usim(simulation, fsys, *model, manifest, population, config);
   usim.run();
+  if (progress) progress->stop();
 
   std::cout << "model: " << model->name() << "  users: " << users << "  sessions: "
             << usim.sessions_completed() << "  simulated: " << simulation.now() / 1e6
@@ -292,6 +372,24 @@ int cmd_run(const Args& args) {
   if (args.flags.count("log")) {
     util::write_text_file(args.get("log", ""), usim.log().serialize());
     std::cout << "\nusage log written to " << args.get("log", "") << "\n";
+  }
+  if (obs_cfg.collect()) {
+    obs::SimSample sample;
+    sample.sim_events = simulation.events_processed();
+    sample.heap_high_water = simulation.arena_high_water();
+    sample.rng_draws = usim.rng_draws();
+    sample.sessions = usim.sessions_completed();
+    for (const auto& record : usim.log().records()) {
+      sample.ops.add(record);
+      if (obs_cfg.trace()) obs::record_op(run_trace.ops, record);
+    }
+    obs::Registry registry;
+    sample.export_into(registry);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count();
+    std::cout << "\n";
+    write_obs_artifacts(obs_cfg, registry, run_trace, wall_ms);
   }
   return 0;
 }
@@ -330,6 +428,7 @@ int cmd_experiments(const Args& args) {
   options.threads = args.count("threads", 0);
   options.replications = args.count("replications", 3);
   options.verbose = args.boolean("verbose");
+  options.progress = args.boolean("progress");
 
   const exp::HarnessSummary summary = exp::run_experiments(registry, options);
   return args.boolean("check") && summary.any_fail() ? 1 : 0;
@@ -392,6 +491,20 @@ int cmd_scenario(const Args& args) {
 
   scenario::RunOptions options;
   if (args.flags.count("threads")) options.threads = args.count("threads", 0);
+  if (args.flags.count("metrics")) options.metrics_file = args.get("metrics", "");
+  if (args.flags.count("trace")) options.trace_file = args.get("trace", "");
+  if (args.flags.count("trace-events")) {
+    options.trace_events = args.count("trace-events", 65536);
+  }
+  if (args.boolean("progress")) options.progress = true;
+  if (args.positional.size() > 2 &&
+      (!options.metrics_file.empty() || !options.trace_file.empty())) {
+    // One override path cannot hold several scenarios' artifacts; the files
+    // would silently clobber each other.
+    throw std::invalid_argument(
+        "--metrics/--trace override a single output file; run one scenario at a "
+        "time or set per-scenario obs.metrics/obs.trace keys instead");
+  }
 
   // Parse every spec up front so a bad file fails before any run starts,
   // then fan the files over the worker pool.  Per-file console output is
@@ -424,6 +537,15 @@ int cmd_scenario(const Args& args) {
       if (!spec.log_file.empty()) out << "usage log written to " << spec.log_file << "\n";
       if (!spec.stats_file.empty()) {
         out << "stats digest written to " << spec.stats_file << "\n";
+      }
+      if (!outcome.metrics_json.empty()) {
+        out << "metrics report written to "
+            << (options.metrics_file.empty() ? spec.obs_metrics : options.metrics_file)
+            << "\n";
+      }
+      if (!outcome.trace_json.empty()) {
+        out << "trace written to "
+            << (options.trace_file.empty() ? spec.obs_trace : options.trace_file) << "\n";
       }
       reports[index] = out.str();
     };
@@ -464,6 +586,10 @@ int main(int argc, char** argv) {
     if (command == "replay") return cmd_replay(args);
     if (command == "experiments") return cmd_experiments(args);
     if (command == "scenario") return cmd_scenario(args);
+    if (command == "version") {
+      std::cout << util::version_line() << "\n";
+      return 0;
+    }
   } catch (const std::exception& e) {
     std::cerr << "wlgen " << command << ": " << e.what() << "\n";
     return 1;

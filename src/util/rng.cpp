@@ -61,6 +61,7 @@ void RngStream::refill_block() {
     u = static_cast<double>(engine_() >> 11) * 0x1.0p-53;
   }
   block_pos_ = 0;
+  ++refills_;
 }
 
 double RngStream::uniform(double lo, double hi) {

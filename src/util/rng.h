@@ -68,6 +68,14 @@ class RngStream {
   /// Weights need not be normalised; all must be >= 0 and not all zero.
   std::size_t categorical(const std::vector<double>& weights);
 
+  /// uniform01()-path draws consumed so far (uniform01 + fill_uniform01;
+  /// direct engine() draws are not counted).  Costs one counter increment
+  /// per kBlock-draw refill — nothing on the draw path itself — which is
+  /// what lets the obs metrics report RNG volume for free.
+  std::uint64_t uniform_draws() const {
+    return refills_ == 0 ? 0 : (refills_ - 1) * kBlock + block_pos_;
+  }
+
   /// Derives a child stream; children of distinct labels are independent.
   /// The child starts with an empty block; the parent's buffer is untouched.
   RngStream fork(std::string_view label) const;
@@ -85,6 +93,7 @@ class RngStream {
   std::mt19937_64 engine_;
   std::array<double, kBlock> block_;
   std::size_t block_pos_ = kBlock;  ///< == size: refill before next draw
+  std::uint64_t refills_ = 0;       ///< blocks filled; see uniform_draws()
 };
 
 /// SplitMix64 step; used for seed derivation.  Exposed for tests.

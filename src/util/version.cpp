@@ -1,0 +1,45 @@
+#include "util/version.h"
+
+// CMake defines these on this translation unit only (so editing a source
+// file never recompiles the world just to refresh the SHA).
+#ifndef WLGEN_GIT_SHA
+#define WLGEN_GIT_SHA "unknown"
+#endif
+#ifndef WLGEN_GIT_DIRTY
+#define WLGEN_GIT_DIRTY 0
+#endif
+
+namespace wlgen::util {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+    b.git_sha = WLGEN_GIT_SHA;
+    b.git_dirty = WLGEN_GIT_DIRTY != 0;
+#ifdef NDEBUG
+    b.build_type = "Release";
+#else
+    b.build_type = "Debug";
+#endif
+#if defined(__clang_version__)
+    b.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__VERSION__)
+    b.compiler = std::string("gcc ") + __VERSION__;
+#else
+    b.compiler = "unknown";
+#endif
+    return b;
+  }();
+  return info;
+}
+
+std::string version_line() {
+  const BuildInfo& b = build_info();
+  std::string line = "wlgen ";
+  line += b.git_sha;
+  if (b.git_dirty) line += "-dirty";
+  line += " (" + b.build_type + ", " + b.compiler + ")";
+  return line;
+}
+
+}  // namespace wlgen::util

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+namespace wlgen::util {
+
+/// Build provenance compiled into the binary: `wlgen version` prints it, and
+/// obs metrics reports / trace files embed it so artifacts are attributable
+/// to a commit.  The git fields come from configure-time -D defines on
+/// version.cpp (see CMakeLists.txt); a tarball build reports "unknown".
+struct BuildInfo {
+  std::string git_sha;      ///< short commit hash, or "unknown"
+  bool git_dirty = false;   ///< uncommitted changes at configure time
+  std::string build_type;   ///< "Release" / "Debug" (keyed off NDEBUG)
+  std::string compiler;     ///< compiler identification string
+};
+
+const BuildInfo& build_info();
+
+/// One-line summary: "wlgen <sha>[-dirty] (<build_type>, <compiler>)".
+std::string version_line();
+
+}  // namespace wlgen::util
