@@ -24,10 +24,19 @@ using namespace wlgen;
 constexpr std::size_t kUsers = 24;
 constexpr std::size_t kSessions = 4;
 
+// Pool utilization as a percentage: busy / (busy + idle) across all workers.
+// Two steady_clock reads per job (obs.pool), invisible at shard granularity.
+double busy_pct(std::uint64_t busy_ns, std::uint64_t idle_ns) {
+  const double total = static_cast<double>(busy_ns + idle_ns);
+  return total > 0.0 ? 100.0 * static_cast<double>(busy_ns) / total : 0.0;
+}
+
 void BM_ShardedRunner(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   std::uint64_t ops = 0;
   std::uint64_t sessions = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t idle_ns = 0;
   for (auto _ : state) {
     runner::RunnerConfig config;
     config.num_users = kUsers;
@@ -35,10 +44,13 @@ void BM_ShardedRunner(benchmark::State& state) {
     config.threads = threads;
     config.usim.sessions_per_user = kSessions;
     config.collect_log = false;  // measure the engine, not log retention
+    config.obs.pool = true;      // busy/idle split for the utilization column
     runner::ShardedRunner run(std::move(config));
     const auto result = run.run();
     ops += result.total_ops;
     sessions += result.sessions_completed;
+    busy_ns += result.pool.busy_ns();
+    idle_ns += result.pool.idle_ns();
     benchmark::DoNotOptimize(result.stats.response_us().mean());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -47,6 +59,9 @@ void BM_ShardedRunner(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
   state.counters["sessions/s"] =
       benchmark::Counter(static_cast<double>(sessions), benchmark::Counter::kIsRate);
+  // Self-diagnosis for flat scaling curves: saturated workers show ~100,
+  // a starved pool (more workers than cores, or skewed shards) shows less.
+  state.counters["pool_busy_pct"] = benchmark::Counter(busy_pct(busy_ns, idle_ns));
 }
 BENCHMARK(BM_ShardedRunner)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()->UseRealTime();
@@ -59,21 +74,27 @@ void BM_ContendedRunner(benchmark::State& state) {
   constexpr std::size_t kReplications = 4;
   std::uint64_t ops = 0;
   std::size_t replications = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t idle_ns = 0;
   for (auto _ : state) {
     runner::ContendedConfig config;
     config.user_points = {1, 2, 4};
     config.replications = kReplications;
     config.threads = threads;
     config.usim.sessions_per_user = kSessions;
+    config.obs.pool = true;
     runner::ContendedRunner run(std::move(config));
     const auto result = run.run();
     ops += result.total_ops;
     replications += result.replications.size();
+    busy_ns += result.pool.busy_ns();
+    idle_ns += result.pool.idle_ns();
     benchmark::DoNotOptimize(result.points.back().response_per_byte.mean);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(replications));
   state.counters["syscalls/s"] =
       benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+  state.counters["pool_busy_pct"] = benchmark::Counter(busy_pct(busy_ns, idle_ns));
 }
 BENCHMARK(BM_ContendedRunner)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()->UseRealTime();

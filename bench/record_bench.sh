@@ -4,13 +4,19 @@
 #
 #   cmake --build build -t record_bench
 #
-# Usage: bench/record_bench.sh [path-to-micro_bench] [output.json] [path-to-micro_runner]
+# Usage: bench/record_bench.sh [micro_bench] [output.json] [micro_runner] [micro_spill]
 #
 # When the micro_runner binary exists (third argument, defaulting to the
 # sibling of micro_bench), its runner-scaling entries — BM_ShardedRunner
 # shard scaling, BM_ContendedRunner contended-replication scaling, the
 # BM_MergeUserLogs fold, and BM_ScenarioMultiBackend scenario-parallelism
-# scaling — are merged into the same scoreboard file.
+# scaling — are merged into the same scoreboard file.  The runner entries
+# carry a "pool_busy_pct" counter (worker busy / (busy + idle), via
+# obs.pool) so a flat curve on the scoreboard is self-diagnosing.
+#
+# When the micro_spill binary exists (fourth argument, same default rule),
+# its population-scaling entries — BM_SpillPopulation wall time and peak-RSS
+# counters with the streaming spill path on vs off — are merged too.
 #
 # Debug-build guard: numbers from an unoptimised binary are meaningless on a
 # perf scoreboard, so recording refuses unless each binary's own
@@ -23,6 +29,7 @@ set -euo pipefail
 BIN="${1:-build/micro_bench}"
 OUT="${2:-BENCH_micro.json}"
 RUNNER_BIN="${3:-$(dirname "$BIN")/micro_runner}"
+SPILL_BIN="${4:-$(dirname "$BIN")/micro_spill}"
 
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not found or not executable (build with: cmake --build build -t micro_bench)" >&2
@@ -31,7 +38,24 @@ fi
 
 TMP_MAIN="$(mktemp)"
 TMP_RUNNER="$(mktemp)"
-trap 'rm -f "$TMP_MAIN" "$TMP_RUNNER"' EXIT
+TMP_SPILL="$(mktemp)"
+trap 'rm -f "$TMP_MAIN" "$TMP_RUNNER" "$TMP_SPILL"' EXIT
+
+# Appends the second file's "benchmarks" array onto the first file's.
+merge_benchmarks() {
+  python3 - "$1" "$2" <<'PY'
+import json, sys
+main_path, extra_path = sys.argv[1], sys.argv[2]
+with open(main_path) as f:
+    main = json.load(f)
+with open(extra_path) as f:
+    extra = json.load(f)
+main["benchmarks"].extend(extra.get("benchmarks", []))
+with open(main_path, "w") as f:
+    json.dump(main, f, indent=2)
+    f.write("\n")
+PY
+}
 
 # Fails (exit 1) when the recorded context is not a release build of wlgen.
 require_release() {
@@ -56,20 +80,17 @@ require_release "$TMP_MAIN" "$BIN"
 if [[ -x "$RUNNER_BIN" ]]; then
   "$RUNNER_BIN" --benchmark_format=json --benchmark_min_time=0.5 --benchmark_repetitions=1 > "$TMP_RUNNER"
   require_release "$TMP_RUNNER" "$RUNNER_BIN"
-  python3 - "$TMP_MAIN" "$TMP_RUNNER" <<'PY'
-import json, sys
-main_path, runner_path = sys.argv[1], sys.argv[2]
-with open(main_path) as f:
-    main = json.load(f)
-with open(runner_path) as f:
-    runner = json.load(f)
-main["benchmarks"].extend(runner.get("benchmarks", []))
-with open(main_path, "w") as f:
-    json.dump(main, f, indent=2)
-    f.write("\n")
-PY
+  merge_benchmarks "$TMP_MAIN" "$TMP_RUNNER"
 else
   echo "note: $RUNNER_BIN not found — scoreboard recorded without runner-scaling entries" >&2
+fi
+
+if [[ -x "$SPILL_BIN" ]]; then
+  "$SPILL_BIN" --benchmark_format=json --benchmark_min_time=0.2 --benchmark_repetitions=1 > "$TMP_SPILL"
+  require_release "$TMP_SPILL" "$SPILL_BIN"
+  merge_benchmarks "$TMP_MAIN" "$TMP_SPILL"
+else
+  echo "note: $SPILL_BIN not found — scoreboard recorded without spill population-scaling entries" >&2
 fi
 
 # Stamp build provenance into the context so a scoreboard entry can always

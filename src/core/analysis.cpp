@@ -4,7 +4,14 @@
 
 namespace wlgen::core {
 
-UsageAnalyzer::UsageAnalyzer(const UsageLog& log) : log_(log) {
+UsageAnalyzer::UsageAnalyzer(LogReader& reader) { consume(reader); }
+
+UsageAnalyzer::UsageAnalyzer(const UsageLog& log) {
+  MemoryLogReader reader(log);
+  consume(reader);
+}
+
+void UsageAnalyzer::consume(LogReader& reader) {
   struct SessionAccumulator {
     double start = 0.0;
     double end = 0.0;
@@ -14,8 +21,19 @@ UsageAnalyzer::UsageAnalyzer(const UsageLog& log) : log_(log) {
   };
   std::map<std::pair<std::uint32_t, std::uint32_t>, SessionAccumulator> acc;
 
-  for (const auto& r : log_.records()) {
+  OpRecord r;
+  while (reader.next(r)) {
     ++op_count_;
+    response_.add(r.response_us);
+    response_sum_us_ += r.response_us;
+    auto& op_stats = per_op_[r.op];
+    op_stats.response_us.add(r.response_us);
+    if (fsmodel::is_data_op(r.op)) {
+      access_size_.add(static_cast<double>(r.actual_bytes));
+      data_response_.add(r.response_us);
+      op_stats.access_size.add(static_cast<double>(r.actual_bytes));
+      data_bytes_ += static_cast<double>(r.actual_bytes);
+    }
     const auto key = std::make_pair(r.user, r.session);
     auto& a = acc[key];
     if (a.first) {
@@ -65,46 +83,8 @@ UsageAnalyzer::UsageAnalyzer(const UsageLog& log) : log_(log) {
   }
 }
 
-stats::RunningSummary UsageAnalyzer::access_size_stats() const {
-  stats::RunningSummary out;
-  for (const auto& r : log_.records()) {
-    if (fsmodel::is_data_op(r.op)) out.add(static_cast<double>(r.actual_bytes));
-  }
-  return out;
-}
-
-stats::RunningSummary UsageAnalyzer::response_stats() const {
-  stats::RunningSummary out;
-  for (const auto& r : log_.records()) out.add(r.response_us);
-  return out;
-}
-
-stats::RunningSummary UsageAnalyzer::data_response_stats() const {
-  stats::RunningSummary out;
-  for (const auto& r : log_.records()) {
-    if (fsmodel::is_data_op(r.op)) out.add(r.response_us);
-  }
-  return out;
-}
-
 double UsageAnalyzer::response_per_byte_us() const {
-  double response = 0.0;
-  double bytes = 0.0;
-  for (const auto& r : log_.records()) {
-    response += r.response_us;
-    if (fsmodel::is_data_op(r.op)) bytes += static_cast<double>(r.actual_bytes);
-  }
-  return bytes > 0.0 ? response / bytes : 0.0;
-}
-
-std::map<fsmodel::FsOpType, OpTypeStats> UsageAnalyzer::per_op_stats() const {
-  std::map<fsmodel::FsOpType, OpTypeStats> out;
-  for (const auto& r : log_.records()) {
-    auto& s = out[r.op];
-    s.response_us.add(r.response_us);
-    if (fsmodel::is_data_op(r.op)) s.access_size.add(static_cast<double>(r.actual_bytes));
-  }
-  return out;
+  return data_bytes_ > 0.0 ? response_sum_us_ / data_bytes_ : 0.0;
 }
 
 namespace {

@@ -3,6 +3,7 @@
 #include <map>
 #include <vector>
 
+#include "core/log_sink.h"
 #include "core/usage_log.h"
 #include "core/workload.h"
 #include "stats/histogram.h"
@@ -41,22 +42,31 @@ struct CategoryUsage {
 };
 
 /// The paper's "Usage Analyzer ... for users to analyze the results and
-/// display them graphically" (section 5.1): turns a UsageLog into session
-/// summaries, per-syscall statistics and the figure histograms.
+/// display them graphically" (section 5.1): turns a usage-log stream into
+/// session summaries, per-syscall statistics and the figure histograms.
+///
+/// Consumes a LogReader in ONE streaming pass — a spilled million-user run
+/// analyzes in bounded memory (per-session accumulators, never the record
+/// vector).  Each accumulator sees records in the same forward order a
+/// per-method scan of a materialized log used to, so every statistic is
+/// bit-identical with the pre-streaming implementation.
 class UsageAnalyzer {
  public:
+  explicit UsageAnalyzer(LogReader& reader);
+
+  /// Convenience over a materialized log (wraps a MemoryLogReader).
   explicit UsageAnalyzer(const UsageLog& log);
 
   const std::vector<SessionSummary>& sessions() const { return sessions_; }
 
   /// Actual bytes moved per read/write call (Table 5.3 "access size").
-  stats::RunningSummary access_size_stats() const;
+  const stats::RunningSummary& access_size_stats() const { return access_size_; }
 
   /// Response time over every logged call (Table 5.3 "response time").
-  stats::RunningSummary response_stats() const;
+  const stats::RunningSummary& response_stats() const { return response_; }
 
   /// Response time over read/write calls only.
-  stats::RunningSummary data_response_stats() const;
+  const stats::RunningSummary& data_response_stats() const { return data_response_; }
 
   /// Total response time across *every* file-access call divided by the
   /// bytes moved by read/write calls — the "average response time per byte"
@@ -66,7 +76,7 @@ class UsageAnalyzer {
   double response_per_byte_us() const;
 
   /// Per-op-type breakdown.
-  std::map<fsmodel::FsOpType, OpTypeStats> per_op_stats() const;
+  const std::map<fsmodel::FsOpType, OpTypeStats>& per_op_stats() const { return per_op_; }
 
   /// Distribution of per-session access-per-byte (Figure 5.3 input).
   stats::Histogram session_access_per_byte_histogram(std::size_t bins = 30) const;
@@ -89,11 +99,18 @@ class UsageAnalyzer {
     FileCategory category;
   };
 
-  const UsageLog& log_;
+  void consume(LogReader& reader);
+
   std::vector<SessionSummary> sessions_;
   // (user, session) -> file id -> touch record; kept for category breakdowns.
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::map<std::uint64_t, FileTouch>> touches_;
   std::size_t op_count_ = 0;
+  stats::RunningSummary access_size_;
+  stats::RunningSummary response_;
+  stats::RunningSummary data_response_;
+  std::map<fsmodel::FsOpType, OpTypeStats> per_op_;
+  double response_sum_us_ = 0.0;
+  double data_bytes_ = 0.0;
 };
 
 }  // namespace wlgen::core

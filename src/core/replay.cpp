@@ -1,6 +1,7 @@
 #include "core/replay.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -11,8 +12,15 @@
 namespace wlgen::core {
 
 TraceReplayer::TraceReplayer(sim::Simulation& sim, fsmodel::FileSystemModel& model,
-                             const UsageLog& trace)
+                             LogReader& trace)
     : sim_(sim), model_(model), trace_(trace) {}
+
+TraceReplayer::TraceReplayer(sim::Simulation& sim, fsmodel::FileSystemModel& model,
+                             const UsageLog& trace)
+    : sim_(sim),
+      model_(model),
+      owned_trace_(std::make_unique<MemoryLogReader>(trace)),
+      trace_(*owned_trace_) {}
 
 UsageLog TraceReplayer::run() { return run(Options{}); }
 
@@ -24,14 +32,26 @@ UsageLog TraceReplayer::run(const Options& options) {
   }
 
   auto result = std::make_shared<UsageLog>();
+  const double scale = options.time_scale;
 
   if (options.preserve_timing) {
-    // Open loop: issue every op at its recorded (scaled) timestamp.
+    // Open loop: every op fires at its recorded (scaled) offset regardless
+    // of how long the replayed calls take.  The cursor is drained once,
+    // scheduling each record as it is read — the event heap buffers the
+    // pending issues, never the log itself — and input order is preserved
+    // on timestamp ties (the sim's FIFO tie-break), so a trace recorded in
+    // completion order (a raw USIM log) replays identically to before the
+    // streaming refactor.
+    OpRecord r;
+    bool have_base = false;
     double base = 0.0;
-    if (!trace_.records().empty()) base = trace_.records().front().issue_time_us;
-    for (const auto& r : trace_.records()) {
-      const double when = std::max(0.0, (r.issue_time_us - base) * options.time_scale);
-      sim_.schedule_at(when, [this, r, result]() {
+    while (trace_.next(r)) {
+      if (!have_base) {
+        base = r.issue_time_us;
+        have_base = true;
+      }
+      const double at = std::max(0.0, (r.issue_time_us - base) * scale);
+      sim_.schedule_at(at, [this, result, r]() {
         fsmodel::FsOp op;
         op.type = r.op;
         op.file_id = r.file_id;
@@ -52,20 +72,26 @@ UsageLog TraceReplayer::run(const Options& options) {
   }
 
   // Closed loop: per recorded user, preserve the think gaps between the end
-  // of one call and the issue of the next.
+  // of one call and the issue of the next.  Every user's chain starts at
+  // simulated time 0, so the per-user queues buffer the whole trace — a
+  // property of the mode itself, not of the cursor input.
   struct UserTrace {
     std::vector<OpRecord> ops;
     std::vector<double> gaps;  // gap before ops[i]
   };
   auto traces = std::make_shared<std::map<std::uint32_t, UserTrace>>();
-  for (const auto& r : trace_.records()) (*traces)[r.user].ops.push_back(r);
+  {
+    OpRecord r;
+    while (trace_.next(r)) (*traces)[r.user].ops.push_back(r);
+  }
   for (auto& [user, t] : *traces) {
-    std::sort(t.ops.begin(), t.ops.end(),
-              [](const OpRecord& a, const OpRecord& b) { return a.issue_time_us < b.issue_time_us; });
+    std::stable_sort(t.ops.begin(), t.ops.end(), [](const OpRecord& a, const OpRecord& b) {
+      return a.issue_time_us < b.issue_time_us;
+    });
     t.gaps.resize(t.ops.size(), 0.0);
     for (std::size_t i = 1; i < t.ops.size(); ++i) {
       const double prev_end = t.ops[i - 1].issue_time_us + t.ops[i - 1].response_us;
-      t.gaps[i] = std::max(0.0, (t.ops[i].issue_time_us - prev_end) * options.time_scale);
+      t.gaps[i] = std::max(0.0, (t.ops[i].issue_time_us - prev_end) * scale);
     }
   }
 

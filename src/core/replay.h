@@ -1,5 +1,8 @@
 #pragma once
 
+#include <memory>
+
+#include "core/log_sink.h"
 #include "core/usage_log.h"
 #include "fsmodel/model.h"
 #include "sim/simulation.h"
@@ -10,17 +13,25 @@ namespace wlgen::core {
 /// positions itself against (section 2.1: "trace data reproduces the actual
 /// workload, but provides an inflexible description").
 ///
-/// Replays a recorded UsageLog against a (possibly different) file-system
-/// model and re-measures every response.  Two modes:
+/// Consumes the recorded trace through a LogReader cursor, so a replay can
+/// stream straight off a spilled on-disk run set without materializing the
+/// record vector.  Re-measures every response against a (possibly
+/// different) file-system model.  Two modes:
 ///
 /// * **open loop** (preserve_timing): ops are issued at their recorded
 ///   timestamps regardless of how the new system responds — how trace
 ///   replay is usually done, and where its inflexibility bites (the trace
 ///   cannot react to a slower system, nor represent more users than it
-///   recorded);
+///   recorded).  The cursor is drained once up front, scheduling each
+///   record at its recorded offset; the event heap holds the pending
+///   issues, not the log, and input order is kept on timestamp ties, so
+///   any record order replays correctly (a raw USIM log arrives in
+///   completion order).
 /// * **closed loop**: each simulated user issues its next op only after the
 ///   previous one completes plus the recorded think gap, approximating the
-///   original feedback behaviour.
+///   original feedback behaviour.  Every user starts at simulated time 0,
+///   so the whole trace's per-user queues are buffered (inherent to the
+///   mode, not to the reader API).
 class TraceReplayer {
  public:
   struct Options {
@@ -28,6 +39,10 @@ class TraceReplayer {
     double time_scale = 1.0;      ///< stretch (>1) or compress (<1) the trace clock
   };
 
+  /// Streams the trace from `trace` (non-owning; must outlive run()).
+  TraceReplayer(sim::Simulation& sim, fsmodel::FileSystemModel& model, LogReader& trace);
+
+  /// Convenience over a materialized log (wraps a MemoryLogReader).
   TraceReplayer(sim::Simulation& sim, fsmodel::FileSystemModel& model, const UsageLog& trace);
 
   /// Replays the whole trace; returns a log with the same ops but response
@@ -40,7 +55,8 @@ class TraceReplayer {
  private:
   sim::Simulation& sim_;
   fsmodel::FileSystemModel& model_;
-  const UsageLog& trace_;
+  std::unique_ptr<LogReader> owned_trace_;  ///< set by the UsageLog ctor
+  LogReader& trace_;
   std::uint64_t ops_replayed_ = 0;
   bool ran_ = false;
 };

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/log_sink.h"
 #include "util/strings.h"
 
 namespace wlgen::core {
@@ -37,61 +38,66 @@ UseMode use_from_int(int v) {
 
 }  // namespace
 
+const char* usage_log_header_line() {
+  return "# issue_us\tresponse_us\tuser\tsession\top\treq_bytes\tact_bytes\tfile_id\t"
+         "file_size\tftype\towner\tuse\n";
+}
+
+void append_record_text(std::ostream& out, const OpRecord& r) {
+  out << r.issue_time_us << '\t' << r.response_us << '\t' << r.user << '\t' << r.session
+      << '\t' << fsmodel::to_string(r.op) << '\t' << r.requested_bytes << '\t'
+      << r.actual_bytes << '\t' << r.file_id << '\t' << r.file_size << '\t'
+      << static_cast<int>(r.category.file_type) << '\t' << static_cast<int>(r.category.owner)
+      << '\t' << static_cast<int>(r.category.use) << '\n';
+}
+
+OpRecord parse_record_line(const std::string& line) {
+  const auto fields = util::split(line, '\t');
+  if (fields.size() != 12) {
+    throw std::invalid_argument("UsageLog::parse: expected 12 fields, got " +
+                                std::to_string(fields.size()));
+  }
+  OpRecord r;
+  const auto f0 = util::parse_double(fields[0]);
+  const auto f1 = util::parse_double(fields[1]);
+  const auto f2 = util::parse_int(fields[2]);
+  const auto f3 = util::parse_int(fields[3]);
+  const auto f5 = util::parse_int(fields[5]);
+  const auto f6 = util::parse_int(fields[6]);
+  const auto f7 = util::parse_int(fields[7]);
+  const auto f8 = util::parse_int(fields[8]);
+  const auto f9 = util::parse_int(fields[9]);
+  const auto f10 = util::parse_int(fields[10]);
+  const auto f11 = util::parse_int(fields[11]);
+  if (!f0 || !f1 || !f2 || !f3 || !f5 || !f6 || !f7 || !f8 || !f9 || !f10 || !f11) {
+    throw std::invalid_argument("UsageLog::parse: malformed line: " + line);
+  }
+  r.issue_time_us = *f0;
+  r.response_us = *f1;
+  r.user = static_cast<std::uint32_t>(*f2);
+  r.session = static_cast<std::uint32_t>(*f3);
+  r.op = op_from_string(fields[4]);
+  r.requested_bytes = static_cast<std::uint64_t>(*f5);
+  r.actual_bytes = static_cast<std::uint64_t>(*f6);
+  r.file_id = static_cast<std::uint64_t>(*f7);
+  r.file_size = static_cast<std::uint64_t>(*f8);
+  r.category.file_type = file_type_from_int(static_cast<int>(*f9));
+  r.category.owner = owner_from_int(static_cast<int>(*f10));
+  r.category.use = use_from_int(static_cast<int>(*f11));
+  return r;
+}
+
 std::string UsageLog::serialize() const {
   std::ostringstream out;
-  out.precision(17);
-  out << "# issue_us\tresponse_us\tuser\tsession\top\treq_bytes\tact_bytes\tfile_id\t"
-         "file_size\tftype\towner\tuse\n";
-  for (const auto& r : records_) {
-    out << r.issue_time_us << '\t' << r.response_us << '\t' << r.user << '\t' << r.session
-        << '\t' << fsmodel::to_string(r.op) << '\t' << r.requested_bytes << '\t'
-        << r.actual_bytes << '\t' << r.file_id << '\t' << r.file_size << '\t'
-        << static_cast<int>(r.category.file_type) << '\t' << static_cast<int>(r.category.owner)
-        << '\t' << static_cast<int>(r.category.use) << '\n';
-  }
+  MemoryLogReader reader(*this);
+  write_log_text(reader, out);
   return out.str();
 }
 
 UsageLog UsageLog::parse(const std::string& text) {
-  UsageLog log;
-  for (const auto& line : util::split(text, '\n')) {
-    const std::string trimmed = util::trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    const auto fields = util::split(trimmed, '\t');
-    if (fields.size() != 12) {
-      throw std::invalid_argument("UsageLog::parse: expected 12 fields, got " +
-                                  std::to_string(fields.size()));
-    }
-    OpRecord r;
-    const auto f0 = util::parse_double(fields[0]);
-    const auto f1 = util::parse_double(fields[1]);
-    const auto f2 = util::parse_int(fields[2]);
-    const auto f3 = util::parse_int(fields[3]);
-    const auto f5 = util::parse_int(fields[5]);
-    const auto f6 = util::parse_int(fields[6]);
-    const auto f7 = util::parse_int(fields[7]);
-    const auto f8 = util::parse_int(fields[8]);
-    const auto f9 = util::parse_int(fields[9]);
-    const auto f10 = util::parse_int(fields[10]);
-    const auto f11 = util::parse_int(fields[11]);
-    if (!f0 || !f1 || !f2 || !f3 || !f5 || !f6 || !f7 || !f8 || !f9 || !f10 || !f11) {
-      throw std::invalid_argument("UsageLog::parse: malformed line: " + trimmed);
-    }
-    r.issue_time_us = *f0;
-    r.response_us = *f1;
-    r.user = static_cast<std::uint32_t>(*f2);
-    r.session = static_cast<std::uint32_t>(*f3);
-    r.op = op_from_string(fields[4]);
-    r.requested_bytes = static_cast<std::uint64_t>(*f5);
-    r.actual_bytes = static_cast<std::uint64_t>(*f6);
-    r.file_id = static_cast<std::uint64_t>(*f7);
-    r.file_size = static_cast<std::uint64_t>(*f8);
-    r.category.file_type = file_type_from_int(static_cast<int>(*f9));
-    r.category.owner = owner_from_int(static_cast<int>(*f10));
-    r.category.use = use_from_int(static_cast<int>(*f11));
-    log.append(r);
-  }
-  return log;
+  MemorySink sink;
+  parse_log_text(text, sink);
+  return sink.take_log();
 }
 
 }  // namespace wlgen::core

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -38,13 +39,26 @@ class UsageLog {
   void clear() { records_.clear(); }
 
   /// Tab-separated text serialisation (one record per line, with a header).
+  /// Streams via log_sink.h's write_log_text — identical text to streaming a
+  /// LogReader directly.
   std::string serialize() const;
 
   /// Parses serialize() output.  Throws std::invalid_argument on bad input.
+  /// Streams record-by-record through a LogSink (log_sink.h parse_log_text).
   static UsageLog parse(const std::string& text);
 
  private:
   std::vector<OpRecord> records_;
 };
+
+/// Shared text codec behind UsageLog::serialize/parse and the streaming
+/// writer (log_sink.h write_log_text) — one definition of the line format.
+const char* usage_log_header_line();
+
+/// Writes one record line (caller sets stream precision to 17).
+void append_record_text(std::ostream& out, const OpRecord& record);
+
+/// Parses one non-comment record line; throws std::invalid_argument.
+OpRecord parse_record_line(const std::string& line);
 
 }  // namespace wlgen::core

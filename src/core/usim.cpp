@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/log_sink.h"
 #include "dist/basic.h"
 
 namespace wlgen::core {
@@ -306,7 +307,7 @@ void UserSimulator::issue(UserState& user, SessionSlot& slot, WorkItem& item,
       sim_, model_.plan(model_op),
       [this, &user, &slot, op, requested, actual, issued_at, session,
        inode = item.inode, fsize = item.file_size, category = item.category](double elapsed) {
-        if (config_.collect_log || config_.on_record) {
+        if (config_.collect_log || config_.on_record || config_.sink != nullptr) {
           OpRecord record;
           record.issue_time_us = issued_at;
           record.response_us = elapsed;
@@ -319,7 +320,11 @@ void UserSimulator::issue(UserState& user, SessionSlot& slot, WorkItem& item,
           record.file_size = fsize;
           record.category = category;
           if (config_.on_record) config_.on_record(record);
-          if (config_.collect_log) log_.append(record);
+          if (config_.sink != nullptr) {
+            config_.sink->append(record);
+          } else if (config_.collect_log) {
+            log_.append(record);
+          }
         }
         // Completion continues the session: pick the next operation after a
         // think time (already folded into schedule_next_op's delay).

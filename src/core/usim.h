@@ -16,6 +16,8 @@
 
 namespace wlgen::core {
 
+class LogSink;  // core/log_sink.h
+
 /// Configuration of a User Simulator run.
 struct UsimConfig {
   /// Simultaneous users on the machine — the x-axis of Figures 5.6–5.11.
@@ -95,6 +97,13 @@ struct UsimConfig {
 
   /// When false, per-op records are not retained (big sweeps).
   bool collect_log = true;
+
+  /// Streaming destination for completed-op records (non-owning; must
+  /// outlive the run).  When set it REPLACES the internal in-memory log —
+  /// records append here instead of log_, so a spilling run never
+  /// materializes them — and collect_log is ignored.  The sharded runner
+  /// points every shard's users at that shard's SpillSink.
+  LogSink* sink = nullptr;
 
   /// Observer invoked with every op record as it completes, independent of
   /// collect_log — the hook mergeable-statistics accumulators use so big

@@ -24,6 +24,10 @@ struct ObsConfig {
   bool progress = false;          ///< heartbeat lines on stderr
   int progress_interval_ms = 1000;
 
+  /// Collect pool busy/idle accounting (RunnerResult::pool) without paying
+  /// for metrics or tracing — what the benches use for utilization columns.
+  bool pool = false;
+
   std::string label;  ///< run label for reports/heartbeats ("" = derived)
 
   bool metrics() const { return !metrics_file.empty(); }
@@ -33,7 +37,7 @@ struct ObsConfig {
   bool collect() const { return metrics() || trace(); }
 
   /// True when anything observability-related is on.
-  bool any() const { return collect() || progress; }
+  bool any() const { return collect() || progress || pool; }
 };
 
 /// Per-entity (user or replication) observability sample.  Lives in the

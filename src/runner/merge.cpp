@@ -39,4 +39,16 @@ bool is_merge_ordered(const core::UsageLog& log) {
   return true;
 }
 
+bool is_merge_ordered(core::LogReader& reader) {
+  core::OpRecord prev;
+  if (!reader.next(prev)) return true;
+  core::OpRecord cur;
+  while (reader.next(cur)) {
+    if (prev.issue_time_us > cur.issue_time_us) return false;
+    if (prev.issue_time_us == cur.issue_time_us && prev.user > cur.user) return false;
+    prev = cur;
+  }
+  return true;
+}
+
 }  // namespace wlgen::runner

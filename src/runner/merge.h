@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/log_sink.h"
 #include "core/usage_log.h"
 
 namespace wlgen::runner {
@@ -24,5 +25,9 @@ core::UsageLog merge_user_logs(std::vector<core::UsageLog> per_user);
 /// checkable from a log alone (records carry no per-user issue ordinal);
 /// the runner tests pin it by comparing whole logs across shard counts.
 bool is_merge_ordered(const core::UsageLog& log);
+
+/// Streaming variant over a LogReader cursor — same check in O(1) memory,
+/// so --verify-merge works on spilled runs that never fit in RAM.
+bool is_merge_ordered(core::LogReader& reader);
 
 }  // namespace wlgen::runner

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/fsc.h"
+#include "core/log_sink.h"
 #include "core/usim.h"
 #include "core/workload.h"
 #include "fsmodel/model.h"
@@ -16,8 +17,42 @@
 #include "runner/partition.h"
 #include "runner/stats.h"
 #include "sim/simulation.h"
+#include "stats/sketch.h"
 
 namespace wlgen::runner {
+
+/// Streaming-log spill configuration (DESIGN.md "Streaming log pipeline").
+/// Off by default: the run materializes the merged log in RAM exactly as
+/// before.  With `enabled`, every shard streams its records through a
+/// core::SpillSink into sorted on-disk runs under `spool_dir`, and the
+/// merged (issue_time, user) view is exposed through the k-way merge
+/// reader (RunnerResult::open_log_reader) — same bytes, bounded RSS.
+struct SpillConfig {
+  bool enabled = false;
+
+  /// Run/checkpoint directory (required when enabled; created if missing).
+  std::string spool_dir;
+
+  /// Per-shard records buffered before a run is cut.  Runs only split at
+  /// user boundaries, so a single user may exceed this; purely a memory/
+  /// fan-in trade-off — never affects the merged stream.
+  std::size_t buffer_records = 65536;
+
+  /// Persist a per-shard checkpoint (spool_dir/shardNNNNNN.ckpt) when the
+  /// shard completes, so an interrupted run can resume (requires enabled).
+  bool checkpoint = false;
+
+  /// Skip shards that left a valid checkpoint: their sorted runs are
+  /// re-read to reconstruct the per-user statistics in the exact original
+  /// fold order, so a resumed run's digest is bit-identical to an
+  /// uninterrupted one (requires checkpoint).
+  bool resume = false;
+
+  /// Caller-level identity folded into the checkpoint fingerprint (the
+  /// scenario/CLI description of everything the runner config cannot see —
+  /// model, overrides, workload knobs).  Resume refuses a mismatch.
+  std::string config_tag;
+};
 
 /// Configuration of a sharded run.
 struct RunnerConfig {
@@ -55,9 +90,14 @@ struct RunnerConfig {
   /// per user — shrink bins for multi-million-user sweeps.
   HistogramSpec histogram;
 
-  /// Retain and merge the per-op usage log.  Off for big sweeps: the
-  /// RunnerStats aggregates are still produced via the record hook.
+  /// Retain and merge the per-op usage log.  With `spill.enabled` the log
+  /// streams to disk instead of RAM, so even million-user runs can keep
+  /// this on; collect_log = false remains the "aggregates only, no log at
+  /// all" mode and conflicts with spilling.
   bool collect_log = true;
+
+  /// Disk-spill / checkpoint-resume switches (off = historical behaviour).
+  SpillConfig spill;
 
   /// Model per user (null = nfs_model_factory()).
   ModelFactory model_factory;
@@ -80,8 +120,27 @@ struct ShardReport {
 /// Merged outcome of a sharded run.
 struct RunnerResult {
   /// Usage log merged by (issue time, user index) — empty when collect_log
-  /// is off.  Bit-identical for every (shards, threads) choice.
+  /// is off OR the run spilled (use open_log_reader() for the uniform
+  /// view).  Bit-identical for every (shards, threads) choice.
   core::UsageLog log;
+
+  /// Sorted on-disk runs in shard order (empty unless spill was on).  The
+  /// k-way merge over them yields the exact `log` stream.
+  std::vector<core::SpillRun> spilled_runs;
+
+  /// The merged (issue_time, user) record stream, wherever it lives: a
+  /// loser-tree merge over `spilled_runs` when the run spilled, else a
+  /// cursor over `log`.  Each call opens a fresh cursor.
+  std::unique_ptr<core::LogReader> open_log_reader() const;
+
+  /// Bounded-memory response-time quantile sketch (always on): one sketch
+  /// per shard during the run, folded exactly — integer bucket counts make
+  /// the merge order-invariant, so it is bit-identical for every
+  /// (shards, threads) choice without per-user slots.
+  stats::QuantileSketch response_sketch;
+
+  std::size_t shards_resumed = 0;       ///< shards restored from checkpoints
+  std::size_t checkpoints_written = 0;  ///< checkpoints persisted this run
 
   /// Mergeable aggregates, folded in ascending global-user order.
   RunnerStats stats;
@@ -139,8 +198,16 @@ class ShardedRunner {
   /// Simulates one user's universe on the worker's Simulation.  `sample`
   /// (when collecting metrics) and `op_ring` (when tracing) are per-user /
   /// per-shard obs sinks; null means the uninstrumented record hook.
+  /// `sink` (when spilling) replaces the in-memory per-user log; `sketch`
+  /// is the owning shard's quantile sketch (always set on sharded runs).
   void run_user(sim::Simulation& sim, std::size_t user, UserOutcome& out,
-                obs::SimSample* sample, obs::TraceRing* op_ring) const;
+                obs::SimSample* sample, obs::TraceRing* op_ring, core::LogSink* sink,
+                stats::QuantileSketch* sketch) const;
+
+  /// Configuration identity folded into checkpoint fingerprints: the runner
+  /// knobs that determine every user's record stream, plus the caller's
+  /// spill.config_tag for everything above this layer.
+  std::string fingerprint() const;
 
   RunnerConfig config_;
   bool ran_ = false;

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/fsc.h"
+#include "core/log_sink.h"
 #include "core/presets.h"
 #include "core/replay.h"
 #include "core/usim.h"
@@ -86,6 +87,21 @@ core::UsageLog generate_shared(const ScenarioSpec& spec, const ModelChoice& mode
   return usim.take_log();
 }
 
+/// Scenario-level identity folded into checkpoint fingerprints: everything
+/// that shapes the record streams but is invisible to RunnerConfig's own
+/// fingerprint fields (model + overrides, population shape, behaviour
+/// switches).  Single line — the checkpoint format is line-based.
+std::string spill_config_tag(const ScenarioSpec& spec, const ModelChoice& model) {
+  std::ostringstream tag;
+  tag << "model=" << model.name;
+  for (const auto& o : model.overrides) tag << "," << o.key << "=" << exact(o.value);
+  tag << " heavy=" << exact(spec.heavy_fraction)
+      << " pattern=" << static_cast<int>(spec.pattern) << " markov=" << exact(spec.markov)
+      << " think=" << spec.think_time << " access=" << spec.access_size
+      << " gds=" << spec.gds_file;
+  return tag.str();
+}
+
 ModelOutcome run_sharded(const ScenarioSpec& spec, const ModelChoice& model,
                          std::size_t threads, const obs::ObsConfig& obs) {
   runner::RunnerConfig config;
@@ -98,6 +114,17 @@ ModelOutcome run_sharded(const ScenarioSpec& spec, const ModelChoice& model,
   config.collect_log = spec.collect_log;
   config.model_factory = model.factory();
   config.obs = obs;
+  if (spec.log_spill) {
+    config.spill.enabled = true;
+    // Multi-model scenarios get one spool subdirectory per backend so their
+    // run/checkpoint files never collide.
+    config.spill.spool_dir = spec.models.size() > 1
+                                 ? spec.log_spool_dir + "/" + model.name
+                                 : spec.log_spool_dir;
+    config.spill.checkpoint = spec.log_checkpoint;
+    config.spill.resume = spec.resume;
+    config.spill.config_tag = spill_config_tag(spec, model);
+  }
 
   runner::ShardedRunner run(std::move(config));
   runner::RunnerResult result = run.run();
@@ -112,6 +139,8 @@ ModelOutcome run_sharded(const ScenarioSpec& spec, const ModelChoice& model,
   point.sessions = result.sessions_completed;
   outcome.points.push_back(std::move(point));
   outcome.log = std::move(result.log);
+  outcome.spilled_runs = std::move(result.spilled_runs);
+  outcome.response_sketch = result.response_sketch;
   outcome.registry = std::move(result.registry);
   outcome.trace = std::move(result.trace);
   return outcome;
@@ -242,6 +271,15 @@ void append_digest(std::ostringstream& out, const ModelOutcome& model) {
         << " mean=" << exact(p.response_per_byte.mean)
         << " ci_half=" << exact(p.response_per_byte.half_width) << "\n";
   }
+  // Sharded runs also pin the bounded-memory sketch: integer bucket counts,
+  // so the quantiles are exact and identical for every shard/thread count
+  // and for spill on vs off.
+  if (model.response_sketch.count() > 0) {
+    const auto& sketch = model.response_sketch;
+    out << "  response_sketch count=" << sketch.count()
+        << " p50=" << exact(sketch.quantile(0.50)) << " p90=" << exact(sketch.quantile(0.90))
+        << " p99=" << exact(sketch.quantile(0.99)) << "\n";
+  }
 }
 
 std::string render_report(const ScenarioSpec& spec, const std::vector<ModelOutcome>& models) {
@@ -363,7 +401,17 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& options
   outcome.report = render_report(spec, outcome.models);
 
   if (!spec.log_file.empty()) {
-    util::write_text_file(spec.log_file, outcome.models.front().log.serialize());
+    // Stream through a reader so a spilled run writes the identical text
+    // without ever materializing the merged log in RAM.
+    const ModelOutcome& first = outcome.models.front();
+    if (!first.spilled_runs.empty()) {
+      std::ostringstream text;
+      auto reader = core::open_spilled_log(first.spilled_runs);
+      core::write_log_text(*reader, text);
+      util::write_text_file(spec.log_file, text.str());
+    } else {
+      util::write_text_file(spec.log_file, first.log.serialize());
+    }
   }
   if (!spec.stats_file.empty()) {
     util::write_text_file(spec.stats_file, outcome.stats_digest);

@@ -5,10 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "core/log_sink.h"
 #include "core/usage_log.h"
 #include "obs/obs.h"
 #include "runner/stats.h"
 #include "scenario/spec.h"
+#include "stats/sketch.h"
 #include "stats/summary.h"
 
 namespace wlgen::scenario {
@@ -48,8 +50,17 @@ struct ModelOutcome {
   std::string model;
   std::vector<PointOutcome> points;
   /// Merged usage log (sharded with collect_log) or replayed log (replay);
-  /// empty otherwise.
+  /// empty otherwise — and empty when the run spilled (see spilled_runs).
   core::UsageLog log;
+
+  /// Sorted on-disk runs when the scenario spilled (log.spill); the merged
+  /// stream is core::open_spilled_log(spilled_runs).
+  std::vector<core::SpillRun> spilled_runs;
+
+  /// Response-time quantile sketch (sharded mode only; empty elsewhere).
+  /// Bit-identical across shard/thread counts AND spill on/off, so its
+  /// quantiles are part of the stats digest.
+  stats::QuantileSketch response_sketch;
 
   /// Per-model observability outputs (empty when obs is off).  The stable
   /// registry metrics follow the owning runner's merge contract.

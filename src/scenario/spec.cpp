@@ -45,6 +45,10 @@ const std::map<std::string, RunMode>& mode_scoped_keys() {
   static const std::map<std::string, RunMode> keys = {
       {"sharded.shards", RunMode::sharded},
       {"sharded.collect_log", RunMode::sharded},
+      {"sharded.resume", RunMode::sharded},
+      {"log.spill", RunMode::sharded},
+      {"log.spool_dir", RunMode::sharded},
+      {"log.checkpoint", RunMode::sharded},
       {"contended.replications", RunMode::contended},
       {"contended.confidence", RunMode::contended},
       {"replay.trace", RunMode::replay},
@@ -151,7 +155,8 @@ ScenarioSpec ScenarioSpec::parse(const util::Config& config) {
       "workload.markov", "workload.windows", "workload.draw_batch", "workload.think_time",
       "workload.access_size", "workload.gds",
       "model.name", "model.names",
-      "sharded.shards", "sharded.collect_log",
+      "sharded.shards", "sharded.collect_log", "sharded.resume",
+      "log.spill", "log.spool_dir", "log.checkpoint",
       "contended.replications", "contended.confidence",
       "replay.trace", "replay.closed_loop", "replay.time_scale", "replay.synthetic_users",
       "obs.metrics", "obs.trace", "obs.trace_events", "obs.progress",
@@ -210,6 +215,32 @@ ScenarioSpec ScenarioSpec::parse(const util::Config& config) {
     fail(config, "sharded.shards", "expects at least 1 shard");
   }
   spec.collect_log = config.get_bool("sharded.collect_log", true);
+
+  // [log] — the streaming spill pipeline (docs/SCENARIOS.md "[log]").
+  spec.log_spill = config.get_bool("log.spill", false);
+  spec.log_spool_dir = config.get_string("log.spool_dir", "");
+  if (!spec.log_spool_dir.empty() && !spec.log_spill) {
+    fail(config, "log.spool_dir", "is only meaningful with log.spill = true");
+  }
+  if (spec.log_spill && !spec.collect_log) {
+    fail(config, "log.spill",
+         "conflicts with sharded.collect_log = false (spilling streams the log to "
+         "disk; collect_log = false means no log at all); drop one");
+  }
+  spec.log_checkpoint = config.get_bool("log.checkpoint", false);
+  if (spec.log_checkpoint && !spec.log_spill) {
+    fail(config, "log.checkpoint",
+         "requires log.spill = true (checkpoints persist the spilled runs)");
+  }
+  spec.resume = config.get_bool("sharded.resume", false);
+  if (spec.resume && !spec.log_checkpoint) {
+    fail(config, "sharded.resume",
+         "requires log.checkpoint = true (there is nothing to resume from without "
+         "checkpoints)");
+  }
+  if (spec.log_spill && spec.log_spool_dir.empty()) {
+    spec.log_spool_dir = ".wlgen-spool/" + util::slugify(spec.name);
+  }
 
   // [contended]
   spec.replications = config.get_size("contended.replications", 3);
@@ -311,6 +342,11 @@ std::string ScenarioSpec::summary() const {
     case RunMode::sharded:
       out << "  sharded: " << shards << " shard(s), collect_log="
           << (collect_log ? "true" : "false") << "\n";
+      if (log_spill) {
+        out << "  log: spill -> " << log_spool_dir
+            << (log_checkpoint ? ", checkpointed" : "") << (resume ? ", resume" : "")
+            << "\n";
+      }
       break;
     case RunMode::contended:
       out << "  contended: " << replications << " replication(s), confidence " << confidence

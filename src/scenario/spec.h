@@ -66,6 +66,12 @@ struct ScenarioSpec {
   // [sharded]
   std::size_t shards = 1;
   bool collect_log = true;
+  bool resume = false;  ///< skip shards with valid checkpoints (needs log.checkpoint)
+
+  // [log] — streaming log pipeline (sharded mode; docs/SCENARIOS.md "[log]").
+  bool log_spill = false;       ///< stream per-shard records to sorted disk runs
+  std::string log_spool_dir;    ///< resolved at parse ("" key = .wlgen-spool/<name>)
+  bool log_checkpoint = false;  ///< persist per-shard checkpoints for resume
 
   // [contended]
   std::size_t replications = 3;

@@ -1,0 +1,49 @@
+#include "stats/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wlgen::stats {
+
+namespace {
+
+// log(kGamma) evaluated once; bucket index = 1 + floor(log(v / kMinValue) / log_gamma).
+const double kLogGamma = std::log(QuantileSketch::kGamma);
+
+std::size_t bucket_of(double value) {
+  if (!(value > QuantileSketch::kMinValue)) return 0;  // also catches NaN
+  const double index = std::floor(std::log(value / QuantileSketch::kMinValue) / kLogGamma);
+  const auto clamped =
+      std::min<double>(index, static_cast<double>(QuantileSketch::kBuckets - 2));
+  return 1 + static_cast<std::size_t>(std::max(0.0, clamped));
+}
+
+}  // namespace
+
+void QuantileSketch::add(double value) {
+  counts_[bucket_of(value)] += 1;
+  ++total_;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  const double clamped_q = std::min(1.0, std::max(0.0, q));
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(clamped_q * total_));
+  rank = std::min<std::uint64_t>(std::max<std::uint64_t>(rank, 1), total_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      if (i == 0) return kMinValue;
+      return kMinValue * std::pow(kGamma, static_cast<double>(i));
+    }
+  }
+  return kMinValue * std::pow(kGamma, static_cast<double>(kBuckets - 1));
+}
+
+}  // namespace wlgen::stats

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace wlgen::stats {
+
+/// Bounded-memory quantile sketch over nonnegative values (response times,
+/// microseconds): fixed log-spaced buckets with integer counts, DDSketch
+/// style.  Relative error per quantile is bounded by the bucket ratio
+/// (kGamma - 1 ≈ 5%).
+///
+/// Where the exact per-user Histogram slots don't fit (the Histogram::merge
+/// fold costs bins × 8 bytes × users), ONE sketch per shard replaces them:
+/// merge() is an elementwise integer add — exact, associative and
+/// commutative — so unlike the floating-point RunningSummary folds the
+/// merged sketch is bit-identical for every shard/thread count without
+/// per-entity slots or a fixed fold order.
+class QuantileSketch {
+ public:
+  static constexpr double kGamma = 1.05;     ///< bucket ratio (~5% rel. error)
+  static constexpr double kMinValue = 1e-3;  ///< values below land in bucket 0
+  static constexpr std::size_t kBuckets = 768;  ///< covers kMinValue..~1e13
+
+  void add(double value);
+  void merge(const QuantileSketch& other);
+
+  std::uint64_t count() const { return total_; }
+
+  /// Upper edge of the bucket holding rank ceil(q * count); 0 when empty.
+  /// Deterministic: a pure function of the integer bucket counts.
+  double quantile(double q) const;
+
+  /// Exact bucket-level equality — what "bit-identical across shard/thread
+  /// counts and spill on/off" means in the tests.
+  bool operator==(const QuantileSketch& other) const = default;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wlgen::stats

@@ -31,6 +31,10 @@ const std::vector<util::CommandSpec>& command_specs() {
            {"shards", "K", "run through the sharded runner with K shards"},
            {"threads", "T", "worker threads (sharded/contended; 0 = hardware)"},
            {"verify-merge", "", "check the sharded merge-ordering contract"},
+           {"spill", "", "stream the sharded log to sorted disk runs (bounded RSS)"},
+           {"spool-dir", "DIR", "spill run/checkpoint directory (default .wlgen-spool/cli-run)"},
+           {"checkpoint", "", "persist per-shard checkpoints (implies --spill)"},
+           {"resume", "", "skip shards with valid checkpoints (implies --checkpoint)"},
            {"contended", "", "run the shared-machine sweep through the contended runner"},
            {"users-sweep", "A:B:STEP", "contended load points (default 1:6:1)"},
            {"replications", "R", "contended replications per load point (default 3)"},

@@ -32,6 +32,7 @@
 
 #include "core/analysis.h"
 #include "core/fsc.h"
+#include "core/log_sink.h"
 #include "core/presets.h"
 #include "core/replay.h"
 #include "core/spec.h"
@@ -132,8 +133,8 @@ int cmd_gds(const Args& args) {
   return 0;
 }
 
-void print_analysis(const core::UsageLog& log) {
-  const core::UsageAnalyzer analyzer(log);
+void print_analysis(core::LogReader& reader) {
+  const core::UsageAnalyzer analyzer(reader);
   util::TextTable ops({"op", "count", "access size mean(std)", "response us mean(std)"});
   for (const auto& [op, s] : analyzer.per_op_stats()) {
     ops.add_row({fsmodel::to_string(op), std::to_string(s.response_us.count()),
@@ -154,6 +155,11 @@ void print_analysis(const core::UsageLog& log) {
   std::cout << summary.render();
 }
 
+void print_analysis(const core::UsageLog& log) {
+  core::MemoryLogReader reader(log);
+  print_analysis(reader);
+}
+
 /// Sharded path: K independent Simulation shards on a worker pool, merged
 /// deterministically (bit-identical for any --shards/--threads choice).
 int cmd_run_sharded(const Args& args, std::size_t users, std::size_t sessions,
@@ -169,6 +175,19 @@ int cmd_run_sharded(const Args& args, std::size_t users, std::size_t sessions,
   config.population = std::move(population);
   config.model_factory = runner::model_factory_by_name(args.get("model", "nfs"));
   config.obs = obs_from_args(args, "run --shards");
+
+  // Spill flags imply each other upward: --resume needs checkpoints, and
+  // --checkpoint/--spool-dir only mean anything with spilling on.
+  const bool checkpoint = args.boolean("checkpoint") || args.boolean("resume");
+  if (args.boolean("spill") || args.flags.count("spool-dir") || checkpoint) {
+    config.spill.enabled = true;
+    config.spill.spool_dir = args.get("spool-dir", ".wlgen-spool/cli-run");
+    config.spill.checkpoint = checkpoint;
+    config.spill.resume = args.boolean("resume");
+    config.spill.config_tag = "cli model=" + args.get("model", "nfs") + " heavy=" +
+                              args.get("heavy", "1") + " markov=" + args.get("markov", "-1") +
+                              " pattern=" + args.get("pattern", "seq");
+  }
 
   runner::ShardedRunner run(std::move(config));
   const runner::RunnerResult result = run.run();
@@ -186,18 +205,43 @@ int cmd_run_sharded(const Args& args, std::size_t users, std::size_t sessions,
                     util::TextTable::num(s.wall_ms, 1)});
   }
   std::cout << shards.render() << "\n";
-  print_analysis(result.log);
+  if (!result.spilled_runs.empty()) {
+    std::uint64_t spilled_bytes = 0;
+    std::uint64_t spilled_records = 0;
+    for (const auto& r : result.spilled_runs) {
+      spilled_bytes += r.bytes;
+      spilled_records += r.records;
+    }
+    std::cout << "spill: " << spilled_records << " records in " << result.spilled_runs.size()
+              << " sorted runs (" << util::TextTable::num(spilled_bytes / (1024.0 * 1024.0), 1)
+              << " MiB) under " << run.config().spill.spool_dir << "\n";
+    if (run.config().spill.checkpoint) {
+      std::cout << "checkpoints: " << result.checkpoints_written << " written, "
+                << result.shards_resumed << " shard(s) resumed\n";
+    }
+    std::cout << "\n";
+  }
+  {
+    // Uniform analysis path: a k-way merge cursor over the spilled runs, or
+    // a cursor over the in-RAM log — identical streams either way.
+    auto reader = result.open_log_reader();
+    print_analysis(*reader);
+  }
 
   if (args.boolean("verify-merge")) {
-    if (!runner::is_merge_ordered(result.log)) {
+    auto reader = result.open_log_reader();
+    if (!runner::is_merge_ordered(*reader)) {
       std::cerr << "merge contract violated: log is not (time, user) ordered\n";
       return 1;
     }
-    std::cout << "\nmerge contract verified: " << result.log.size()
+    std::cout << "\nmerge contract verified: " << result.total_ops
               << " records in (time, user) order\n";
   }
   if (args.flags.count("log")) {
-    util::write_text_file(args.get("log", ""), result.log.serialize());
+    std::ostringstream text;
+    auto reader = result.open_log_reader();
+    core::write_log_text(*reader, text);
+    util::write_text_file(args.get("log", ""), text.str());
     std::cout << "\nusage log written to " << args.get("log", "") << "\n";
   }
   if (run.config().obs.collect()) {
@@ -226,6 +270,12 @@ int cmd_run_contended(const Args& args, std::size_t sessions, std::uint64_t seed
   if (args.flags.count("users") && args.flags.count("users-sweep")) {
     throw std::invalid_argument("--users and --users-sweep are both load-point selectors; "
                                 "pick one");
+  }
+  if (args.boolean("spill") || args.boolean("checkpoint") || args.boolean("resume") ||
+      args.flags.count("spool-dir")) {
+    throw std::invalid_argument(
+        "--spill/--spool-dir/--checkpoint/--resume belong to the sharded runner's "
+        "streamed log; contended runs keep no log (use --shards)");
   }
   runner::ContendedConfig config;
   // Explicit --users N without a sweep runs that single load point.
@@ -315,13 +365,15 @@ int cmd_run(const Args& args) {
                            std::move(config));
   }
   if (args.flags.count("threads") || args.boolean("verify-merge") ||
-      args.flags.count("replications") || args.flags.count("users-sweep")) {
+      args.flags.count("replications") || args.flags.count("users-sweep") ||
+      args.boolean("spill") || args.flags.count("spool-dir") ||
+      args.boolean("checkpoint") || args.boolean("resume")) {
     // Guard against silently switching semantics: the classic path is one
     // shared-machine Simulation; parallel execution exists only under the
     // sharded or contended runner models.
     throw std::invalid_argument(
-        "--threads/--verify-merge require --shards, and --replications/--users-sweep "
-        "require --contended (see DESIGN.md)");
+        "--threads/--verify-merge/--spill/--spool-dir/--checkpoint/--resume require "
+        "--shards, and --replications/--users-sweep require --contended (see DESIGN.md)");
   }
 
   // Classic-path observability: the merged log survives the run, so metrics

@@ -7,12 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 
 #include "core/analysis.h"
 #include "core/presets.h"
 #include "fs/filesystem.h"
 #include "fsmodel/nfs_model.h"
+#include "runner/checkpoint.h"
 #include "runner/contended_runner.h"
 #include "runner/sharded_runner.h"
 
@@ -301,6 +303,171 @@ TEST(ShardedRunner, ShardReportsCoverAllUsersAndOps) {
   }
   EXPECT_EQ(ops, result.total_ops);
   EXPECT_EQ(users, 6u);
+}
+
+// --- streaming spill + checkpoint/resume ------------------------------------
+
+// Fresh spool directory per test (and per configuration within a test, when
+// runs must not see each other's checkpoints).
+std::string fresh_spool(const std::string& tag) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / ("wlgen_spool_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+RunnerConfig spill_config(std::size_t users, std::size_t shards, std::size_t threads,
+                          const std::string& spool, std::size_t buffer_records = 32) {
+  RunnerConfig config = base_config(users, shards, threads);
+  config.spill.enabled = true;
+  config.spill.spool_dir = spool;
+  config.spill.buffer_records = buffer_records;  // small: several runs per shard
+  return config;
+}
+
+TEST(ShardedRunnerSpill, MatchesInMemoryLogByteForByteAcrossShardsAndThreads) {
+  ShardedRunner reference(base_config(6, 1, 1));
+  const RunnerResult in_memory = reference.run();
+  ASSERT_FALSE(in_memory.log.empty());
+
+  for (std::size_t shards : {1u, 2u, 3u}) {
+    for (std::size_t threads : {1u, 4u}) {
+      const std::string spool =
+          fresh_spool("s" + std::to_string(shards) + "t" + std::to_string(threads));
+      ShardedRunner spilled(spill_config(6, shards, threads, spool));
+      const RunnerResult result = spilled.run();
+
+      // The in-RAM log stays empty; the merged stream lives behind the
+      // reader and carries the exact same bytes, tie-break order included.
+      EXPECT_TRUE(result.log.empty());
+      ASSERT_FALSE(result.spilled_runs.empty());
+      auto reader = result.open_log_reader();
+      EXPECT_EQ(core::materialize(*reader).serialize(), in_memory.log.serialize())
+          << shards << " shards, " << threads << " threads";
+
+      expect_stats_identical(result.stats, in_memory.stats);
+      EXPECT_EQ(result.total_ops, in_memory.total_ops);
+      EXPECT_EQ(result.max_simulated_us, in_memory.max_simulated_us);
+      EXPECT_TRUE(result.response_sketch == in_memory.response_sketch);
+      std::filesystem::remove_all(spool);
+    }
+  }
+}
+
+TEST(ShardedRunnerSpill, HandlesMoreShardsThanUsers) {
+  // Empty shards produce no runs and no records; the merge must not invent
+  // or drop anything.
+  const std::string spool = fresh_spool("empty_shards");
+  ShardedRunner spilled(spill_config(2, 5, 2, spool));
+  const RunnerResult result = spilled.run();
+  ShardedRunner reference(base_config(2, 1, 1));
+  const RunnerResult in_memory = reference.run();
+  auto reader = result.open_log_reader();
+  EXPECT_EQ(core::materialize(*reader).serialize(), in_memory.log.serialize());
+  std::filesystem::remove_all(spool);
+}
+
+TEST(ShardedRunnerSpill, StreamSatisfiesMergeContractViaReader) {
+  const std::string spool = fresh_spool("contract");
+  ShardedRunner spilled(spill_config(5, 3, 2, spool));
+  const RunnerResult result = spilled.run();
+  auto reader = result.open_log_reader();
+  EXPECT_TRUE(is_merge_ordered(*reader));
+  std::filesystem::remove_all(spool);
+}
+
+TEST(ShardedRunnerSpill, SketchIsInvariantAcrossEverything) {
+  // One sketch per shard, integer merge: bit-identical buckets for every
+  // (shards, threads, spill) combination — including the in-memory path.
+  ShardedRunner reference(base_config(6, 1, 1));
+  const RunnerResult base = reference.run();
+  ASSERT_GT(base.response_sketch.count(), 0u);
+  EXPECT_EQ(base.response_sketch.count(), base.total_ops);
+
+  ShardedRunner memory_many(base_config(6, 3, 4));
+  EXPECT_TRUE(memory_many.run().response_sketch == base.response_sketch);
+
+  const std::string spool = fresh_spool("sketch");
+  ShardedRunner spilled(spill_config(6, 3, 4, spool));
+  EXPECT_TRUE(spilled.run().response_sketch == base.response_sketch);
+  std::filesystem::remove_all(spool);
+}
+
+TEST(ShardedRunnerSpill, CheckpointResumeIsBitIdentical) {
+  const std::string spool = fresh_spool("resume");
+  RunnerConfig first_config = spill_config(6, 3, 2, spool);
+  first_config.spill.checkpoint = true;
+  ShardedRunner first(first_config);
+  const RunnerResult original = first.run();
+  EXPECT_EQ(original.checkpoints_written, 3u);
+  EXPECT_EQ(original.shards_resumed, 0u);
+  const std::string original_log = core::materialize(*original.open_log_reader()).serialize();
+
+  // Full resume: every shard restored from its checkpoint, nothing re-run,
+  // and the result — log bytes, stats fold, sketch — is bit-identical.
+  RunnerConfig resume_config = spill_config(6, 3, 2, spool);
+  resume_config.spill.checkpoint = true;
+  resume_config.spill.resume = true;
+  ShardedRunner resumed(resume_config);
+  const RunnerResult restored = resumed.run();
+  EXPECT_EQ(restored.shards_resumed, 3u);
+  EXPECT_EQ(core::materialize(*restored.open_log_reader()).serialize(), original_log);
+  expect_stats_identical(restored.stats, original.stats);
+  EXPECT_EQ(restored.total_ops, original.total_ops);
+  EXPECT_EQ(restored.sessions_completed, original.sessions_completed);
+  EXPECT_EQ(restored.max_simulated_us, original.max_simulated_us);
+  EXPECT_TRUE(restored.response_sketch == original.response_sketch);
+
+  // Partial resume: delete one shard's checkpoint (simulating an interrupt
+  // between shard completions); that shard re-runs, the rest restore, and
+  // the merged result is still bit-identical.
+  std::filesystem::remove(checkpoint_path(spool, 1));
+  ShardedRunner partial(resume_config);
+  const RunnerResult repaired = partial.run();
+  EXPECT_EQ(repaired.shards_resumed, 2u);
+  EXPECT_EQ(repaired.checkpoints_written, 1u);
+  EXPECT_EQ(core::materialize(*repaired.open_log_reader()).serialize(), original_log);
+  expect_stats_identical(repaired.stats, original.stats);
+  EXPECT_TRUE(repaired.response_sketch == original.response_sketch);
+  std::filesystem::remove_all(spool);
+}
+
+TEST(ShardedRunnerSpill, ResumeRejectsAForeignFingerprint) {
+  const std::string spool = fresh_spool("fingerprint");
+  RunnerConfig first_config = spill_config(4, 2, 1, spool);
+  first_config.spill.checkpoint = true;
+  ShardedRunner first(first_config);
+  first.run();
+
+  // Same spool, different seed: the checkpoints describe a different
+  // record stream and silently reusing them would corrupt the result.
+  RunnerConfig other = spill_config(4, 2, 1, spool);
+  other.spill.checkpoint = true;
+  other.spill.resume = true;
+  other.seed = 777;
+  ShardedRunner resumed(other);
+  EXPECT_THROW(resumed.run(), std::runtime_error);
+  std::filesystem::remove_all(spool);
+}
+
+TEST(ShardedRunnerSpill, ValidatesSpillConfiguration) {
+  RunnerConfig no_spool = base_config(1, 1, 1);
+  no_spool.spill.enabled = true;
+  EXPECT_THROW(ShardedRunner(std::move(no_spool)), std::invalid_argument);
+
+  RunnerConfig no_log = spill_config(1, 1, 1, fresh_spool("v1"));
+  no_log.collect_log = false;
+  EXPECT_THROW(ShardedRunner(std::move(no_log)), std::invalid_argument);
+
+  RunnerConfig ckpt_without_spill = base_config(1, 1, 1);
+  ckpt_without_spill.spill.checkpoint = true;
+  EXPECT_THROW(ShardedRunner(std::move(ckpt_without_spill)), std::invalid_argument);
+
+  RunnerConfig resume_without_ckpt = spill_config(1, 1, 1, fresh_spool("v2"));
+  resume_without_ckpt.spill.resume = true;
+  EXPECT_THROW(ShardedRunner(std::move(resume_without_ckpt)), std::invalid_argument);
+
+  RunnerConfig zero_buffer = spill_config(1, 1, 1, fresh_spool("v3"), 0);
+  EXPECT_THROW(ShardedRunner(std::move(zero_buffer)), std::invalid_argument);
 }
 
 // --- contended runner -------------------------------------------------------

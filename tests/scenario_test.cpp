@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <set>
 
 #include "fsmodel/local_model.h"
@@ -142,7 +143,18 @@ INSTANTIATE_TEST_SUITE_P(
                     "[output]\nlog = out.tsv\n",
                     "empty"},
         FailureCase{"[scenario]\nmode = contended\n[workload]\nthink_time = warp(9)\n",
-                    "is invalid"}));
+                    "is invalid"},
+        FailureCase{"[scenario]\nmode = contended\n[log]\nspill = true\n",
+                    "only meaningful when scenario.mode = sharded"},
+        FailureCase{"[scenario]\nmode = sharded\n[log]\nspool_dir = /tmp/x\n",
+                    "only meaningful with log.spill"},
+        FailureCase{"[scenario]\nmode = sharded\n[sharded]\ncollect_log = false\n"
+                    "[log]\nspill = true\n",
+                    "conflicts with sharded.collect_log = false"},
+        FailureCase{"[scenario]\nmode = sharded\n[log]\ncheckpoint = true\n",
+                    "requires log.spill = true"},
+        FailureCase{"[scenario]\nmode = sharded\n[sharded]\nresume = true\n",
+                    "requires log.checkpoint = true"}));
 
 // --- model parameter overrides ---------------------------------------------
 
@@ -244,6 +256,84 @@ TEST(ScenarioRun, DrawBatchDigestIsThreadCountInvariant) {
       "[sharded]\nshards = 2\n"
       "[model]\nname = nfs\n";
   EXPECT_EQ(digest_with_threads(text, 1), digest_with_threads(text, 8));
+}
+
+// --- streaming spill at the scenario layer ----------------------------------
+
+TEST(ScenarioSpec, LogSpillParsesDefaultsAndSummary) {
+  const ScenarioSpec spec = ScenarioSpec::parse_text(
+      "[scenario]\nmode = sharded\nname = Spill Demo\n"
+      "[log]\nspill = true\ncheckpoint = true\n");
+  EXPECT_TRUE(spec.log_spill);
+  EXPECT_TRUE(spec.log_checkpoint);
+  EXPECT_FALSE(spec.resume);
+  // Default spool directory derives from the scenario name.
+  EXPECT_EQ(spec.log_spool_dir, ".wlgen-spool/spill_demo");
+  EXPECT_NE(spec.summary().find("log: spill -> .wlgen-spool/spill_demo, checkpointed"),
+            std::string::npos);
+}
+
+std::string spill_scenario_text(const std::string& spool, const std::string& log_extra = "",
+                                const std::string& sharded_extra = "") {
+  return
+      "[scenario]\nmode = sharded\nname = pin-spill\n"
+      "[workload]\nusers = 6\nsessions = 2\n"
+      "[sharded]\nshards = 3\n" + sharded_extra +
+      "[log]\nspill = true\nspool_dir = " + spool + "\n" + log_extra +
+      "[model]\nname = nfs\n";
+}
+
+TEST(ScenarioRun, SpillDigestMatchesInMemoryDigestAtBothThreadCounts) {
+  // The headline scenario-level pin: turning the spill pipeline on (any
+  // thread count) must not move the stats digest by a single byte relative
+  // to the historical in-memory path.
+  const std::string in_memory_text =
+      "[scenario]\nmode = sharded\nname = pin-spill\n"
+      "[workload]\nusers = 6\nsessions = 2\n"
+      "[sharded]\nshards = 3\n"
+      "[model]\nname = nfs\n";
+  const auto spool = std::filesystem::path(::testing::TempDir()) / "wlgen_scn_spill";
+  std::filesystem::remove_all(spool);
+  const std::string spill_text = spill_scenario_text(spool.string());
+
+  const std::string reference = digest_with_threads(in_memory_text, 1);
+  EXPECT_FALSE(reference.empty());
+  EXPECT_NE(reference.find("response_sketch"), std::string::npos);
+  EXPECT_EQ(digest_with_threads(spill_text, 1), reference);
+  std::filesystem::remove_all(spool);
+  EXPECT_EQ(digest_with_threads(spill_text, 8), reference);
+  std::filesystem::remove_all(spool);
+}
+
+TEST(ScenarioRun, ResumedScenarioReproducesTheDigest) {
+  const auto spool = std::filesystem::path(::testing::TempDir()) / "wlgen_scn_resume";
+  std::filesystem::remove_all(spool);
+  const std::string checkpointed = spill_scenario_text(spool.string(), "checkpoint = true\n");
+  const std::string resumed =
+      spill_scenario_text(spool.string(), "checkpoint = true\n", "resume = true\n");
+
+  const std::string first = digest_with_threads(checkpointed, 2);
+  // Second run resumes every shard from the spool and must reproduce the
+  // digest byte for byte — the crash-recovery contract.
+  EXPECT_EQ(digest_with_threads(resumed, 2), first);
+  std::filesystem::remove_all(spool);
+}
+
+TEST(ScenarioRun, SpilledScenarioStillWritesTheOutputLog) {
+  const auto spool = std::filesystem::path(::testing::TempDir()) / "wlgen_scn_outlog";
+  const auto log_path = std::filesystem::path(::testing::TempDir()) / "wlgen_scn_outlog.tsv";
+  std::filesystem::remove_all(spool);
+  std::filesystem::remove(log_path);
+  const std::string text =
+      spill_scenario_text(spool.string()) + "[output]\nlog = " + log_path.string() + "\n";
+  const ScenarioOutcome outcome = run_scenario(ScenarioSpec::parse_text(text));
+  ASSERT_EQ(outcome.models.size(), 1u);
+  EXPECT_FALSE(outcome.models[0].spilled_runs.empty());
+  EXPECT_GT(outcome.models[0].response_sketch.count(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(log_path));
+  EXPECT_GT(std::filesystem::file_size(log_path), 0u);
+  std::filesystem::remove_all(spool);
+  std::filesystem::remove(log_path);
 }
 
 TEST(ScenarioRun, ReplayModeRunsTheAbComparison) {
