@@ -152,8 +152,8 @@ ScriptResult ScriptRunner::run(const std::vector<ScriptOp>& script,
 
 namespace {
 
-std::string andrew_file(const AndrewConfig& c, const std::string& root, std::size_t dir,
-                        std::size_t file) {
+std::string andrew_file(const AndrewConfig& /*config*/, const std::string& root,
+                        std::size_t dir, std::size_t file) {
   return root + "/d" + std::to_string(dir) + "/f" + std::to_string(file);
 }
 

@@ -307,8 +307,10 @@ std::string DistributionSpecifier::render_ascii(const std::string& name, double 
   const auto [a, b] = plot_range(*d, lo, hi);
   util::PlotOptions options;
   options.title = name + " : " + d->describe();
-  options.x_label = "x";
-  options.y_label = "f(x)";
+  // std::string{} sidesteps gcc 12.2's -Wrestrict false positive on
+  // string::operator=(const char*) at -O3 (GCC PR 105329, fixed in 12.3).
+  options.x_label = std::string{"x"};
+  options.y_label = std::string{"f(x)"};
   return util::ascii_function([&](double x) { return d->pdf(x); }, a, b, 96, options);
 }
 
@@ -326,8 +328,10 @@ std::string DistributionSpecifier::render_svg(const std::string& name, double lo
   }
   util::SvgOptions options;
   options.title = d->describe();
-  options.x_label = "x";
-  options.y_label = "f(x)";
+  // std::string{} sidesteps gcc 12.2's -Wrestrict false positive on
+  // string::operator=(const char*) at -O3 (GCC PR 105329, fixed in 12.3).
+  options.x_label = std::string{"x"};
+  options.y_label = std::string{"f(x)"};
   return util::svg_plot({series}, options);
 }
 

@@ -146,7 +146,7 @@ HarnessSummary run_experiments(const Registry& registry, const HarnessOptions& o
       report.id = experiment.id;
       report.artifact = experiment.artifact.empty() ? experiment.id : experiment.artifact;
       report.title = experiment.title;
-      const auto start = std::chrono::steady_clock::now();
+      const auto start = std::chrono::steady_clock::now();  // wlgen-lint: allow(wall-clock): reported wall_ms only; never enters the sim
       try {
         report.result = experiment.run(context);
         report.verdict = options.check
@@ -158,7 +158,7 @@ HarnessSummary run_experiments(const Registry& registry, const HarnessOptions& o
         report.verdict = Verdict::fail;
       }
       report.wall_ms = std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - start)
+                           std::chrono::steady_clock::now() - start)  // wlgen-lint: allow(wall-clock): reported wall_ms only; never enters the sim
                            .count();
       if (progress) progress->advance(1, 0, 0.0);
     };

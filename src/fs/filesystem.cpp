@@ -472,7 +472,8 @@ Result<std::uint64_t> SimulatedFileSystem::tell(Fd fd) const {
 
 std::size_t SimulatedFileSystem::regular_file_count() const {
   std::size_t n = 0;
-  for (const auto& [id, node] : inodes_) {
+  // Commutative count: the fold result is order-independent.
+  for (const auto& [id, node] : inodes_) {  // wlgen-lint: allow(unordered-iter)
     if (node.kind == FileKind::regular && node.link_count > 0) ++n;
   }
   return n;
@@ -480,7 +481,8 @@ std::size_t SimulatedFileSystem::regular_file_count() const {
 
 std::size_t SimulatedFileSystem::directory_count() const {
   std::size_t n = 0;
-  for (const auto& [id, node] : inodes_) {
+  // Commutative count: the fold result is order-independent.
+  for (const auto& [id, node] : inodes_) {  // wlgen-lint: allow(unordered-iter)
     if (node.kind == FileKind::directory) ++n;
   }
   return n;

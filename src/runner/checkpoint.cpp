@@ -60,7 +60,9 @@ void write_checkpoint(const std::string& path, const ShardCheckpoint& c,
 }
 
 std::optional<ShardCheckpoint> load_checkpoint(const std::string& path,
-                                               const std::string& fingerprint) {
+                                               const std::string& fingerprint,
+                                               std::size_t expect_begin,
+                                               std::size_t expect_end) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
 
@@ -116,6 +118,7 @@ std::optional<ShardCheckpoint> load_checkpoint(const std::string& path,
     if (fields.fail()) return std::nullopt;
   }
   if (!saw_end || c.runs.size() != declared_runs || c.end < c.begin) return std::nullopt;
+  if (c.begin != expect_begin || c.end != expect_end) return std::nullopt;
 
   // Run files must still exist with exactly the recorded size — a cheap
   // integrity check that catches truncation from the interruption itself.

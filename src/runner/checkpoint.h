@@ -47,11 +47,16 @@ void write_checkpoint(const std::string& path, const ShardCheckpoint& checkpoint
 
 /// Loads and validates one shard checkpoint.
 ///
-/// * missing / unparseable file, or a run file that is absent or has the
-///   wrong size → nullopt (the shard simply re-runs);
+/// * missing / unparseable file, a run file that is absent or has the
+///   wrong size, or a stored user range different from
+///   [expect_begin, expect_end) → nullopt (the shard simply re-runs; the
+///   fingerprint pins users+shards, so a range mismatch can only mean the
+///   file predates this scheme);
 /// * fingerprint mismatch → std::runtime_error (resuming under a different
 ///   configuration would silently merge incompatible results — fail loud).
 std::optional<ShardCheckpoint> load_checkpoint(const std::string& path,
-                                               const std::string& fingerprint);
+                                               const std::string& fingerprint,
+                                               std::size_t expect_begin,
+                                               std::size_t expect_end);
 
 }  // namespace wlgen::runner

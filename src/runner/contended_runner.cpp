@@ -108,7 +108,7 @@ void ContendedRunner::run_replication(sim::Simulation& sim, std::size_t users,
 ContendedResult ContendedRunner::run() {
   if (ran_) throw std::logic_error("ContendedRunner::run: may only run once");
   ran_ = true;
-  const auto run_start = std::chrono::steady_clock::now();
+  const auto run_start = std::chrono::steady_clock::now();  // wlgen-lint: allow(wall-clock): reported wall_ms only; never enters the sim
 
   const std::size_t points = config_.user_points.size();
   const std::size_t reps = config_.replications;
@@ -153,7 +153,7 @@ ContendedResult ContendedRunner::run() {
       const std::size_t r = j % reps;
       const std::size_t users = config_.user_points[p];
       const std::uint64_t seed = replication_seed(config_.seed, r);
-      const auto job_start = std::chrono::steady_clock::now();
+      const auto job_start = std::chrono::steady_clock::now();  // wlgen-lint: allow(wall-clock): reported wall_ms only; never enters the sim
       obs::ScopedStageTrace stage_trace(trace_on ? &stage_rings[j] : nullptr);
       run_replication(*sim, users, seed, outcomes[j], collect ? &samples[j] : nullptr,
                       trace_on ? &op_rings[j] : nullptr);

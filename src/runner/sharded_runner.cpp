@@ -149,7 +149,7 @@ void ShardedRunner::run_user(sim::Simulation& sim, std::size_t user, UserOutcome
 RunnerResult ShardedRunner::run() {
   if (ran_) throw std::logic_error("ShardedRunner::run: may only run once");
   ran_ = true;
-  const auto run_start = std::chrono::steady_clock::now();
+  const auto run_start = std::chrono::steady_clock::now();  // wlgen-lint: allow(wall-clock): reported wall_ms only; never enters the sim
 
   const std::size_t num_users = config_.num_users;
   const std::vector<UserRange> ranges = partition_users(num_users, config_.shards);
@@ -176,13 +176,7 @@ RunnerResult ShardedRunner::run() {
     for (std::size_t s = 0; s < ranges.size(); ++s) {
       const std::string ckpt_path = checkpoint_path(config_.spill.spool_dir, s);
       if (config_.spill.resume) {
-        auto loaded = load_checkpoint(ckpt_path, fp);
-        // The fingerprint pins users+shards, so a stored range can only
-        // disagree if the file predates this scheme — re-run the shard.
-        if (loaded && (loaded->begin != ranges[s].begin || loaded->end != ranges[s].end)) {
-          loaded.reset();
-        }
-        resumed[s] = std::move(loaded);
+        resumed[s] = load_checkpoint(ckpt_path, fp, ranges[s].begin, ranges[s].end);
       }
       if (config_.spill.checkpoint && !resumed[s].has_value()) {
         // Drop any stale/rejected checkpoint so an interruption during this
@@ -228,7 +222,7 @@ RunnerResult ShardedRunner::run() {
   drain_pool(ranges.size(), config_.threads, [&]() -> PoolJob {
     auto sim = std::make_shared<sim::Simulation>();
     return [&, sim](std::size_t s, const std::atomic<bool>& cancelled) {
-      const auto shard_start = std::chrono::steady_clock::now();
+      const auto shard_start = std::chrono::steady_clock::now();  // wlgen-lint: allow(wall-clock): reported wall_ms only; never enters the sim
       // Installs this shard's stage ring (or null) for the worker while it
       // runs this shard; save/restore keeps nested pools correct.
       obs::ScopedStageTrace stage_trace(trace_on ? &stage_rings[s] : nullptr);

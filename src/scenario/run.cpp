@@ -325,7 +325,7 @@ std::string render_report(const ScenarioSpec& spec, const std::vector<ModelOutco
 }  // namespace
 
 ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = std::chrono::steady_clock::now();  // wlgen-lint: allow(wall-clock): reported wall_ms only; never enters the sim
   const std::size_t threads = options.threads.value_or(spec.threads);
 
   ScenarioOutcome outcome;
@@ -418,7 +418,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& options
   }
 
   outcome.wall_ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
+                        std::chrono::steady_clock::now() - start)  // wlgen-lint: allow(wall-clock): reported wall_ms only; never enters the sim
                         .count();
 
   // Observability artifacts, assembled in spec model order so the documents

@@ -83,6 +83,13 @@ const std::vector<util::CommandSpec>& command_specs() {
            {"trace-events", "N", "override the obs.trace_events ring budget"},
            {"progress", "", "force the live progress heartbeat on"},
        }},
+      {"lint",
+       "",
+       "run the determinism linter over the source tree (see DESIGN.md)",
+       {
+           {"root", "DIR", "source tree to lint (default src)"},
+           {"rules", "", "print the rule table with rationales and exit"},
+       }},
       {"version",
        "",
        "print build provenance (git SHA, build type, compiler)",

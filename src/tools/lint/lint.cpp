@@ -1,0 +1,293 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace wlgen::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Lexer state carried across lines by strip_comments_and_strings.
+enum class StripState { code, block_comment, raw_string };
+
+/// Does `path` (relative, forward slashes) match the anchored regex
+/// `filter`?  Empty filter means "match everything" for applies and "match
+/// nothing" for allow — callers pick via `empty_matches`.
+bool path_matches(const std::string& path, const std::string& filter, bool empty_matches) {
+  if (filter.empty()) return empty_matches;
+  return std::regex_search(path, std::regex(filter));
+}
+
+/// Declared unordered_{map,set} variable names in stripped source —
+/// handles one level of nested template arguments, which covers every
+/// declaration shape in this codebase (pinned by lint_test fixtures).
+std::set<std::string> unordered_names(const std::vector<std::string>& stripped) {
+  static const std::regex decl(
+      R"(unordered_(?:map|set)\s*<(?:[^<>]|<[^<>]*>)*>\s*([A-Za-z_]\w*))");
+  std::set<std::string> names;
+  std::string joined;
+  for (const auto& line : stripped) {
+    joined += line;
+    joined += '\n';
+  }
+  for (auto it = std::sregex_iterator(joined.begin(), joined.end(), decl);
+       it != std::sregex_iterator(); ++it) {
+    names.insert((*it)[1].str());
+  }
+  return names;
+}
+
+/// Lines (1-based) where one of `names` is iterated: a range-for over the
+/// name, or an explicit name.begin()/name.cbegin() cursor.
+std::vector<std::size_t> iteration_lines(const std::vector<std::string>& stripped,
+                                         const std::set<std::string>& names) {
+  std::vector<std::size_t> hits;
+  if (names.empty()) return hits;
+  std::string alternation;
+  for (const auto& name : names) {
+    if (!alternation.empty()) alternation += '|';
+    alternation += name;
+  }
+  // Range-for (`: name)`) or an explicit cursor (`name.begin(`).
+  const std::regex iter(R"(:\s*(?:\w+\s*\.\s*)?(?:)" + alternation + R"()\s*\))" +
+                        std::string(R"(|\b(?:)") + alternation +
+                        R"()\s*\.\s*c?begin\s*\()");
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    if (std::regex_search(stripped[i], iter)) hits.push_back(i + 1);
+  }
+  return hits;
+}
+
+/// First line (1-based) of actual code, and whether it is `#pragma once`.
+bool opens_with_pragma_once(const std::vector<std::string>& stripped, bool* has_code) {
+  for (const auto& line : stripped) {
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    *has_code = true;
+    static const std::regex pragma(R"(^#\s*pragma\s+once\b)");
+    return std::regex_search(line.substr(start), pragma);
+  }
+  *has_code = false;
+  return false;
+}
+
+}  // namespace
+
+std::string Violation::render() const {
+  std::ostringstream out;
+  out << file << ":" << line << ": " << rule << ": " << message;
+  return out.str();
+}
+
+std::vector<std::string> strip_comments_and_strings(const std::string& source) {
+  std::vector<std::string> lines;
+  std::string current;
+  StripState state = StripState::code;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+      ++i;
+      continue;
+    }
+    if (state == StripState::block_comment) {
+      if (c == '*' && i + 1 < n && source[i + 1] == '/') {
+        state = StripState::code;
+        current += ' ';
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    if (state == StripState::raw_string) {
+      if (c == ')' && i + 1 < n && source[i + 1] == '"') {
+        state = StripState::code;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    // state == code
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      // Line comment: drop the rest of the line (the newline loops back).
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      state = StripState::block_comment;
+      i += 2;
+      continue;
+    }
+    if (c == '"' && i >= 1 && source[i - 1] == 'R') {
+      // Raw string literal R"( ... )" — delimiter-free form only; the
+      // codebase uses no custom delimiters (a rule regex in a test fixture
+      // would, but fixtures embed source as ordinary strings).
+      if (i + 1 < n && source[i + 1] == '(') {
+        current.pop_back();  // drop the R
+        current += ' ';
+        state = StripState::raw_string;
+        i += 2;
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      // Ordinary string/char literal: skip to the unescaped closing quote.
+      const char quote = c;
+      ++i;
+      while (i < n && source[i] != quote && source[i] != '\n') {
+        if (source[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n && source[i] == quote) ++i;
+      current += ' ';
+      continue;
+    }
+    current += c;
+    ++i;
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+std::map<std::size_t, std::set<std::string>> allow_markers(const std::string& source) {
+  std::map<std::size_t, std::set<std::string>> markers;
+  static const std::regex marker(R"(wlgen-lint:\s*allow\(([^)]*)\))");
+  std::istringstream in(source);
+  std::string line;
+  for (std::size_t number = 1; std::getline(in, line); ++number) {
+    std::smatch match;
+    if (!std::regex_search(line, match, marker)) continue;
+    std::string ids = match[1].str();
+    std::replace(ids.begin(), ids.end(), ',', ' ');
+    std::istringstream split(ids);
+    std::string id;
+    while (split >> id) markers[number].insert(id);
+  }
+  return markers;
+}
+
+std::vector<Violation> lint_source(const std::string& relative_path,
+                                   const std::string& printed_path,
+                                   const std::string& source,
+                                   const std::vector<Rule>& rules,
+                                   const std::string& companion_header) {
+  const std::vector<std::string> stripped = strip_comments_and_strings(source);
+  const auto allows = allow_markers(source);
+  const bool is_header = relative_path.size() >= 2 &&
+                         relative_path.compare(relative_path.size() - 2, 2, ".h") == 0;
+
+  const auto allowed = [&](std::size_t line, const std::string& rule_id) {
+    const auto it = allows.find(line);
+    if (it == allows.end()) return false;
+    return it->second.count(rule_id) != 0 || it->second.count("*") != 0;
+  };
+
+  std::vector<Violation> violations;
+  for (const auto& rule : rules) {
+    if (!path_matches(relative_path, rule.applies, /*empty_matches=*/true)) continue;
+    if (path_matches(relative_path, rule.allow_paths, /*empty_matches=*/false)) continue;
+
+    switch (rule.kind) {
+      case RuleKind::pattern: {
+        const std::regex pattern(rule.pattern);
+        for (std::size_t i = 0; i < stripped.size(); ++i) {
+          if (!std::regex_search(stripped[i], pattern)) continue;
+          if (allowed(i + 1, rule.id)) continue;
+          violations.push_back({printed_path, i + 1, rule.id, rule.message});
+        }
+        break;
+      }
+      case RuleKind::pragma_once: {
+        if (!is_header) break;
+        bool has_code = false;
+        const bool ok = opens_with_pragma_once(stripped, &has_code);
+        if (has_code && !ok && !allowed(1, rule.id)) {
+          violations.push_back({printed_path, 1, rule.id, rule.message});
+        }
+        break;
+      }
+      case RuleKind::unordered_iter: {
+        std::set<std::string> names = unordered_names(stripped);
+        if (!companion_header.empty()) {
+          const auto header_names =
+              unordered_names(strip_comments_and_strings(companion_header));
+          names.insert(header_names.begin(), header_names.end());
+        }
+        for (const std::size_t line : iteration_lines(stripped, names)) {
+          if (allowed(line, rule.id)) continue;
+          violations.push_back({printed_path, line, rule.id, rule.message});
+        }
+        break;
+      }
+    }
+  }
+  std::sort(violations.begin(), violations.end());
+  return violations;
+}
+
+TreeReport lint_tree(const std::string& root, const std::vector<Rule>& rules) {
+  if (!fs::is_directory(root)) {
+    throw std::runtime_error("lint root '" + root + "' is not a directory");
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cpp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  TreeReport report;
+  for (const auto& file : files) {
+    std::string relative = fs::relative(file, root).generic_string();
+    std::ifstream in(file, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot read " + file.string());
+    std::ostringstream content;
+    content << in.rdbuf();
+
+    // Feed foo.cpp the declarations of a sibling foo.h so the
+    // unordered-iter rule sees members declared in the header.
+    std::string companion;
+    if (file.extension() == ".cpp") {
+      fs::path header = file;
+      header.replace_extension(".h");
+      std::ifstream header_in(header, std::ios::binary);
+      if (header_in) {
+        std::ostringstream header_content;
+        header_content << header_in.rdbuf();
+        companion = header_content.str();
+      }
+    }
+
+    auto violations =
+        lint_source(relative, file.generic_string(), content.str(), rules, companion);
+    report.violations.insert(report.violations.end(), violations.begin(), violations.end());
+    ++report.files_scanned;
+  }
+  std::sort(report.violations.begin(), report.violations.end());
+  return report;
+}
+
+int run_lint(const std::string& root, const std::vector<Rule>& rules) {
+  const TreeReport report = lint_tree(root, rules);
+  for (const auto& violation : report.violations) {
+    std::cerr << violation.render() << "\n";
+  }
+  std::cout << "wlgen lint: " << report.violations.size() << " violation(s) over "
+            << report.files_scanned << " file(s) in " << root << "\n";
+  return report.violations.empty() ? 0 : 1;
+}
+
+}  // namespace wlgen::lint

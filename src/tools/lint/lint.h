@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wlgen::lint {
+
+/// wlgen's determinism linter — a token/regex-level checker for the code
+/// shapes that break the repo's core invariant (merged logs, stats digests
+/// and checkpoint-resumed runs are bit-identical for any shard/thread/spill
+/// combination).  It is deliberately NOT a compiler plugin: the hazards it
+/// hunts (wall-clock reads, unordered iteration, FP byte punning, float
+/// truncation, raw entropy) are all visible at the token level, and a
+/// dependency-free checker can run in CI before any test binary builds.
+///
+/// Matching happens on source with comments and string/char literals
+/// stripped, so prose like "think time (already folded in)" never trips a
+/// rule.  Escape hatches, in order of preference:
+///   1. the rule's `allow_paths` regex (whole files whose PURPOSE is the
+///      flagged operation — each entry carries a justification in
+///      lint_rules.cpp), and
+///   2. an inline `// wlgen-lint: allow(rule-id[, rule-id...])` comment on
+///      the flagged line for one-off, locally-justified sites.
+///
+/// Diagnostics print as `file:line: rule-id: message`; `run_lint` exits
+/// nonzero when any violation survives.  tests/lint_test.cpp pins one
+/// positive and one negative fixture per rule plus both escape hatches.
+
+/// How a rule inspects the stripped source.
+enum class RuleKind {
+  pattern,         ///< flag lines matching `pattern`
+  pragma_once,     ///< headers must open with #pragma once
+  unordered_iter,  ///< range-for / .begin() over a declared unordered container
+};
+
+/// One determinism rule.  `applies` and `allow_paths` are ECMAScript
+/// regexes matched against the path RELATIVE to the scanned root with
+/// forward slashes (e.g. "core/log_sink.cpp"); an empty `applies` means
+/// every scanned file, an empty `allow_paths` means no path exemptions.
+struct Rule {
+  std::string id;           ///< stable kebab-case id ("wall-clock", ...)
+  std::string rationale;    ///< why the shape threatens determinism
+  RuleKind kind = RuleKind::pattern;
+  std::string pattern;      ///< regex for RuleKind::pattern
+  std::string applies;      ///< path filter (regex), empty = all files
+  std::string allow_paths;  ///< exempt paths (regex), empty = none
+  std::string message;      ///< one-line diagnostic
+};
+
+/// One diagnostic; ordered (file, line, rule) for stable output.
+struct Violation {
+  std::string file;      ///< path as printed (root-joined, clickable)
+  std::size_t line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Violation& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    return rule < other.rule;
+  }
+  std::string render() const;  ///< "file:line: rule-id: message"
+};
+
+/// Strips // and /* */ comments and the contents of string/char literals
+/// (replaced by a single space so token boundaries survive), preserving the
+/// line structure: result[i] is line i+1 of `source` with only code left.
+/// Raw string literals are handled for the common R"(...)"  delimiter-free
+/// form.  This is a lexer approximation, not a parser — good enough for the
+/// token-level rules above, and pinned by lint_test fixtures.
+std::vector<std::string> strip_comments_and_strings(const std::string& source);
+
+/// Inline escape hatches: maps 1-based line number -> rule ids allowed on
+/// that line, parsed from `// wlgen-lint: allow(a, b)` markers in the RAW
+/// source (markers live in comments, which strip_comments_and_strings
+/// removes).  The wildcard allow(*) suppresses every rule on the line.
+std::map<std::size_t, std::set<std::string>> allow_markers(const std::string& source);
+
+/// Lints one file's contents.  `relative_path` (forward slashes, relative
+/// to the scanned root) drives the applies/allow_paths filters;
+/// `printed_path` is what diagnostics show.  `companion_header` feeds the
+/// unordered-iter rule the declarations of the matching .h when linting a
+/// .cpp (members declared in foo.h are iterated in foo.cpp).
+std::vector<Violation> lint_source(const std::string& relative_path,
+                                   const std::string& printed_path,
+                                   const std::string& source,
+                                   const std::vector<Rule>& rules,
+                                   const std::string& companion_header = "");
+
+/// Result of walking a tree: sorted violations + how many files were read
+/// (so "0 violations over 0 files" cannot masquerade as a clean pass).
+struct TreeReport {
+  std::vector<Violation> violations;
+  std::size_t files_scanned = 0;
+};
+
+/// Walks `root` recursively over *.h / *.cpp in sorted path order and lints
+/// each file.  Throws std::runtime_error when `root` is not a directory.
+TreeReport lint_tree(const std::string& root, const std::vector<Rule>& rules);
+
+/// CLI entry point: lints `root`, prints diagnostics to stderr and a
+/// one-line summary to stdout.  Returns 0 on a clean tree, 1 when any
+/// violation survives — the `wlgen lint` exit-code contract.
+int run_lint(const std::string& root, const std::vector<Rule>& rules);
+
+}  // namespace wlgen::lint

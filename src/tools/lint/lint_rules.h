@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace wlgen::lint {
+
+/// The committed determinism rule table — what `wlgen lint` (and the CMake
+/// `lint` target, and CI's lint job) enforces over src/.  Each rule carries
+/// its rationale; per-path allowlist entries are justified inline in
+/// lint_rules.cpp.  tests/lint_test.cpp pins one positive and one negative
+/// fixture per rule, and that the committed tree is clean under this table.
+const std::vector<Rule>& default_rules();
+
+/// Human-readable rule table (id, rationale, scope) for `wlgen lint --rules`
+/// and the DESIGN.md documentation.
+std::string render_rule_table();
+
+}  // namespace wlgen::lint

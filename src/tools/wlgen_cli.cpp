@@ -47,6 +47,7 @@
 #include "scenario/run.h"
 #include "scenario/spec.h"
 #include "tools/cli_spec.h"
+#include "tools/lint/lint_rules.h"
 #include "util/args.h"
 #include "util/ascii_plot.h"
 #include "util/json.h"
@@ -609,6 +610,20 @@ int cmd_scenario(const Args& args) {
   return 0;
 }
 
+/// `wlgen lint` — the determinism linter (DESIGN.md "Correctness tooling").
+/// Exit 0 on a clean tree, 1 with file:line diagnostics on any violation.
+int cmd_lint(const Args& args) {
+  if (!args.positional.empty()) {
+    throw std::invalid_argument("unexpected argument '" + args.positional.front() +
+                                "' (lint takes only --flags; the tree is --root)");
+  }
+  if (args.boolean("rules")) {
+    std::cout << lint::render_rule_table();
+    return 0;
+  }
+  return lint::run_lint(args.get("root", "src"), lint::default_rules());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -638,6 +653,7 @@ int main(int argc, char** argv) {
     if (command == "replay") return cmd_replay(args);
     if (command == "experiments") return cmd_experiments(args);
     if (command == "scenario") return cmd_scenario(args);
+    if (command == "lint") return cmd_lint(args);
     if (command == "version") {
       std::cout << util::version_line() << "\n";
       return 0;

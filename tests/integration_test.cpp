@@ -174,7 +174,9 @@ TEST(Integration, GdsDistributionsDriveUsim) {
   usim.run();
 
   for (const auto& r : usim.log().records()) {
-    if (fsmodel::is_data_op(r.op)) EXPECT_LE(r.requested_bytes, 256u);
+    if (fsmodel::is_data_op(r.op)) {
+      EXPECT_LE(r.requested_bytes, 256u);
+    }
   }
 }
 

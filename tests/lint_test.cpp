@@ -1,0 +1,296 @@
+// Tests for the determinism linter (src/tools/lint/): one positive and one
+// negative fixture per rule in the committed table, both escape hatches
+// (per-path allowlists and inline `wlgen-lint: allow(...)` markers), the
+// exit-code contract of run_lint, and — the real gate — that the committed
+// src/ tree is clean under the table.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint/lint.h"
+#include "tools/lint/lint_rules.h"
+
+namespace wlgen::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Lints an inline fixture as if it lived at `path` inside src/.
+std::vector<Violation> lint_snippet(const std::string& path, const std::string& source,
+                                    const std::string& companion_header = "") {
+  return lint_source(path, path, source, default_rules(), companion_header);
+}
+
+bool has_rule(const std::vector<Violation>& violations, const std::string& rule) {
+  for (const auto& v : violations) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer: comments and string literals never trip rules.
+// ---------------------------------------------------------------------------
+
+TEST(LintStrip, RemovesCommentsAndStringsButKeepsLineStructure) {
+  const std::string source =
+      "int a; // steady_clock in a comment\n"
+      "/* rand( in a\n"
+      "   block comment */ int b;\n"
+      "const char* s = \"random_device\";\n"
+      "char c = '\\'';\n"
+      "int d;\n";
+  const auto lines = strip_comments_and_strings(source);
+  ASSERT_EQ(lines.size(), 7u);  // trailing entry for the final newline
+  EXPECT_EQ(lines[0], "int a; ");
+  EXPECT_EQ(lines[1], "");
+  EXPECT_EQ(lines[2], "  int b;");
+  EXPECT_EQ(lines[3], "const char* s =  ;");
+  EXPECT_EQ(lines[4], "char c =  ;");
+  EXPECT_EQ(lines[5], "int d;");
+}
+
+TEST(LintStrip, ProseInCommentsDoesNotTripAnyRule) {
+  const std::string source =
+      "// think time (already folded into schedule_next_op's delay)\n"
+      "/* a steady_clock, rand(, random_device, reinterpret_cast tour */\n"
+      "const char* msg = \"uses system_clock and memcpy( internally\";\n";
+  EXPECT_TRUE(lint_snippet("core/fixture.cpp", source).empty());
+}
+
+TEST(LintAllowMarkers, ParsesSingleAndMultiRuleMarkers) {
+  const auto markers = allow_markers(
+      "int a;\n"
+      "int b; // wlgen-lint: allow(wall-clock)\n"
+      "int c; // wlgen-lint: allow(raw-rand, byte-pun)\n");
+  ASSERT_EQ(markers.size(), 2u);
+  EXPECT_TRUE(markers.at(2).count("wall-clock"));
+  EXPECT_TRUE(markers.at(3).count("raw-rand"));
+  EXPECT_TRUE(markers.at(3).count("byte-pun"));
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+TEST(LintWallClock, FlagsSteadyClockInSimPath) {
+  const auto violations = lint_snippet(
+      "sim/fixture.cpp", "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "wall-clock");
+  EXPECT_EQ(violations[0].line, 1u);
+}
+
+TEST(LintWallClock, FlagsBareTimeCallButNotMemberOrSuffixedNames) {
+  EXPECT_TRUE(has_rule(lint_snippet("core/fixture.cpp", "time_t t = time(nullptr);\n"),
+                       "wall-clock"));
+  // issue_time(...) and x.time(...) are simulation accessors, not libc time().
+  EXPECT_TRUE(lint_snippet("core/fixture.cpp",
+                           "double a = issue_time(1);\ndouble b = clock.time();\n")
+                  .empty());
+}
+
+TEST(LintWallClock, OutsideSimDirsAndOnAllowlistedPoolIsClean) {
+  const std::string source = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint_snippet("obs/fixture.cpp", source).empty());
+  EXPECT_TRUE(lint_snippet("runner/pool.cpp", source).empty());
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter
+// ---------------------------------------------------------------------------
+
+TEST(LintUnorderedIter, FlagsRangeForAndBeginOverUnorderedContainers) {
+  const std::string source =
+      "std::unordered_map<std::uint64_t, Inode> inodes_;\n"
+      "void f() {\n"
+      "  for (const auto& [id, node] : inodes_) use(node);\n"
+      "  auto it = inodes_.begin();\n"
+      "}\n";
+  const auto violations = lint_snippet("fs/fixture.cpp", source);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].rule, "unordered-iter");
+  EXPECT_EQ(violations[0].line, 3u);
+  EXPECT_EQ(violations[1].line, 4u);
+}
+
+TEST(LintUnorderedIter, OrderedMapAndLookupOnlyUseAreClean) {
+  const std::string source =
+      "std::map<int, int> sorted_;\n"
+      "std::unordered_map<int, int> index_;\n"
+      "void f() {\n"
+      "  for (const auto& [k, v] : sorted_) use(v);\n"
+      "  index_.at(3);\n"
+      "  index_[4] = 5;\n"
+      "}\n";
+  EXPECT_TRUE(lint_snippet("runner/fixture.cpp", source).empty());
+}
+
+TEST(LintUnorderedIter, SeesDeclarationsFromCompanionHeader) {
+  const std::string header = "std::unordered_map<int, int> open_files_;\n";
+  const std::string source = "void f() { for (auto& [fd, file] : open_files_) use(file); }\n";
+  EXPECT_TRUE(has_rule(lint_snippet("fs/fixture.cpp", source, header), "unordered-iter"));
+  // Without the header's declarations the identifier is unknown — clean.
+  EXPECT_TRUE(lint_snippet("fs/fixture.cpp", source).empty());
+}
+
+// ---------------------------------------------------------------------------
+// raw-rand
+// ---------------------------------------------------------------------------
+
+TEST(LintRawRand, FlagsRandAndRandomDeviceEverywhereButUtilRng) {
+  EXPECT_TRUE(has_rule(lint_snippet("dist/fixture.cpp", "int r = rand();\n"), "raw-rand"));
+  EXPECT_TRUE(has_rule(lint_snippet("obs/fixture.cpp", "std::random_device rd;\n"),
+                       "raw-rand"));
+  EXPECT_TRUE(lint_snippet("util/rng.cpp", "std::random_device entropy;\n").empty());
+}
+
+TEST(LintRawRand, SeededEngineNamesAreClean) {
+  // mt19937_64 seeded from the Rng tree is the blessed idiom; only the
+  // entropy sources themselves are hazards.
+  EXPECT_TRUE(lint_snippet("dist/fixture.cpp",
+                           "std::mt19937_64 engine(seed);\nuint64_t r = rng.draw();\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// byte-pun
+// ---------------------------------------------------------------------------
+
+TEST(LintBytePun, FlagsReinterpretCastAndMemcpyInSimPaths) {
+  EXPECT_TRUE(has_rule(
+      lint_snippet("stats/fixture.cpp",
+                   "auto bits = *reinterpret_cast<const std::uint64_t*>(&value);\n"),
+      "byte-pun"));
+  EXPECT_TRUE(has_rule(
+      lint_snippet("runner/fixture.cpp", "std::memcpy(&bits, &value, sizeof bits);\n"),
+      "byte-pun"));
+}
+
+TEST(LintBytePun, CodecAndCallbackStorageAreAllowlisted) {
+  const std::string source = "std::memcpy(&bits, &value, sizeof bits);\n";
+  EXPECT_TRUE(lint_snippet("core/log_sink.cpp", source).empty());
+  EXPECT_TRUE(lint_snippet("sim/callback.h",
+                           "#pragma once\nauto* fn = reinterpret_cast<Fn*>(storage);\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// float-stats
+// ---------------------------------------------------------------------------
+
+TEST(LintFloatStats, FlagsFloatTypeAndLiteralOnlyInStatsFiles) {
+  EXPECT_TRUE(has_rule(lint_snippet("stats/fixture.cpp", "float sum = 0;\n"),
+                       "float-stats"));
+  EXPECT_TRUE(has_rule(lint_snippet("runner/stats.cpp", "double x = 1.5f;\n"),
+                       "float-stats"));
+  // Outside stats accumulation files the rule does not apply.
+  EXPECT_TRUE(lint_snippet("fsmodel/fixture.cpp", "float ratio = 0;\n").empty());
+  // Doubles are the required idiom.
+  EXPECT_TRUE(lint_snippet("stats/fixture.cpp", "double sum = 1.5;\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once
+// ---------------------------------------------------------------------------
+
+TEST(LintPragmaOnce, HeaderMustOpenWithPragmaOnce) {
+  const auto violations = lint_snippet("core/fixture.h", "struct S {};\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "pragma-once");
+  EXPECT_EQ(violations[0].line, 1u);
+}
+
+TEST(LintPragmaOnce, LeadingCommentsAreFineAndCppFilesAreExempt) {
+  EXPECT_TRUE(lint_snippet("core/fixture.h",
+                           "// banner comment\n\n#pragma once\nstruct S {};\n")
+                  .empty());
+  EXPECT_TRUE(lint_snippet("core/fixture.cpp", "struct S {};\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Inline escape hatch
+// ---------------------------------------------------------------------------
+
+TEST(LintInlineAllow, SuppressesExactlyTheNamedRuleOnTheLine) {
+  const std::string allowed =
+      "auto t = std::chrono::steady_clock::now();  // wlgen-lint: allow(wall-clock)\n";
+  EXPECT_TRUE(lint_snippet("runner/fixture.cpp", allowed).empty());
+
+  // A marker for a different rule does not suppress, and neither does a
+  // marker on a neighbouring line.
+  const std::string wrong_rule =
+      "auto t = std::chrono::steady_clock::now();  // wlgen-lint: allow(raw-rand)\n";
+  EXPECT_TRUE(has_rule(lint_snippet("runner/fixture.cpp", wrong_rule), "wall-clock"));
+  const std::string wrong_line =
+      "// wlgen-lint: allow(wall-clock)\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(has_rule(lint_snippet("runner/fixture.cpp", wrong_line), "wall-clock"));
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics + exit-code contract
+// ---------------------------------------------------------------------------
+
+TEST(LintContract, ViolationRendersFileLineRuleMessage) {
+  const auto violations =
+      lint_snippet("sim/fixture.cpp", "int x;\nauto t = std::chrono::system_clock::now();\n");
+  ASSERT_EQ(violations.size(), 1u);
+  const std::string rendered = violations[0].render();
+  EXPECT_EQ(rendered.rfind("sim/fixture.cpp:2: wall-clock: ", 0), 0u) << rendered;
+}
+
+TEST(LintContract, RunLintExitCodesOnSeededAndCleanTrees) {
+  const fs::path root = fs::temp_directory_path() / "wlgen_lint_test_tree";
+  fs::remove_all(root);
+  fs::create_directories(root / "core");
+  {
+    std::ofstream out(root / "core" / "clean.cpp");
+    out << "int answer() { return 42; }\n";
+  }
+  EXPECT_EQ(run_lint(root.string(), default_rules()), 0);
+  {
+    std::ofstream out(root / "core" / "seeded.cpp");
+    out << "#include <ctime>\n"
+        << "double wall() { return static_cast<double>(time(nullptr)); }\n";
+  }
+  EXPECT_EQ(run_lint(root.string(), default_rules()), 1);
+  fs::remove_all(root);
+}
+
+TEST(LintContract, LintTreeThrowsOnMissingRoot) {
+  EXPECT_THROW(lint_tree("/nonexistent/wlgen-lint-root", default_rules()),
+               std::runtime_error);
+}
+
+TEST(LintContract, RuleTableRendersEveryRuleId) {
+  const std::string table = render_rule_table();
+  for (const auto& rule : default_rules()) {
+    EXPECT_NE(table.find(rule.id), std::string::npos) << rule.id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The committed tree is clean — the acceptance gate for `wlgen lint`.
+// ---------------------------------------------------------------------------
+
+#ifdef WLGEN_SOURCE_DIR
+TEST(LintTree, CommittedSourceTreeIsClean) {
+  const TreeReport report =
+      lint_tree(std::string(WLGEN_SOURCE_DIR) + "/src", default_rules());
+  for (const auto& violation : report.violations) {
+    ADD_FAILURE() << violation.render();
+  }
+  // A clean pass over an empty walk would be vacuous: the committed tree
+  // has >100 translation units and headers.
+  EXPECT_GT(report.files_scanned, 100u);
+}
+#endif
+
+}  // namespace
+}  // namespace wlgen::lint

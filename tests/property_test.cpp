@@ -126,7 +126,9 @@ TEST_P(FsFuzz, SizesMatchReferenceModel) {
         const auto got = fsys.read(it->second, 10000);
         // creat() descriptors are write-only; both outcomes are legal, but a
         // successful read must return exactly the file size.
-        if (got.ok()) EXPECT_EQ(got.value(), reference_sizes[path]);
+        if (got.ok()) {
+          EXPECT_EQ(got.value(), reference_sizes[path]);
+        }
         break;
       }
       case 3: {  // close
@@ -153,7 +155,9 @@ TEST_P(FsFuzz, SizesMatchReferenceModel) {
         const auto st = fsys.stat(path);
         const auto it = reference_sizes.find(path);
         EXPECT_EQ(st.ok(), it != reference_sizes.end());
-        if (st.ok() && it != reference_sizes.end()) EXPECT_EQ(st.value().size, it->second);
+        if (st.ok() && it != reference_sizes.end()) {
+          EXPECT_EQ(st.value().size, it->second);
+        }
         break;
       }
     }
