@@ -4,10 +4,11 @@
 
 namespace wlgen::bench {
 
-// The 23 paper experiments, one maker per former standalone bench binary.
-// Each returns a thin exp::Experiment registration: identity, the paper's
-// described curve shape as declarative expectations, and a run function
-// built on the exp::workload engine.
+// The 25 registered experiments: the 23 paper experiments (one maker per
+// former standalone bench binary) plus the two open-system traffic checks
+// (offered_load, slowdown_recovery).  Each returns a thin exp::Experiment
+// registration: identity, the paper's described curve shape as declarative
+// expectations, and a run function built on the exp::workload engine.
 
 exp::Experiment make_fig5_1();
 exp::Experiment make_fig5_2();
@@ -32,9 +33,12 @@ exp::Experiment make_ablation_smoothing();
 exp::Experiment make_ablation_topology();
 exp::Experiment make_baseline_bench();
 exp::Experiment make_compare_fs();
+exp::Experiment make_offered_load();
+exp::Experiment make_slowdown_recovery();
 
-/// Registers all 23 experiments, in paper order.  Safe to call once per
-/// registry; a second call on the same registry throws (duplicate ids).
+/// Registers all 25 experiments, in paper order (traffic checks last).
+/// Safe to call once per registry; a second call on the same registry
+/// throws (duplicate ids).
 void register_all_experiments(exp::Registry& registry);
 
 }  // namespace wlgen::bench

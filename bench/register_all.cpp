@@ -30,6 +30,8 @@ void register_all_experiments(exp::Registry& registry) {
   registry.add(make_ablation_markov());
   registry.add(make_ablation_smoothing());
   registry.add(make_ablation_topology());
+  registry.add(make_offered_load());
+  registry.add(make_slowdown_recovery());
 }
 
 }  // namespace wlgen::bench

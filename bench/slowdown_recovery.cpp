@@ -1,0 +1,133 @@
+// Slowdown-recovery — fault injection on the DES timeline: a mid-run server
+// slowdown window under constant open-loop arrival pressure.
+//
+// While the window is active every model stage runs `factor` times slower,
+// so the bucketed response level jumps; arrivals keep coming at the same
+// rate, so a backlog builds.  When the window lifts, service speed snaps
+// back but the level recovers only gradually as the queued sessions drain —
+// the hysteresis this experiment bands.  All times are fractions of the
+// expected arrival horizon so the shape survives `--scale`.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/presets.h"
+#include "core/usage_log.h"
+#include "exp/workload.h"
+#include "experiments.h"
+
+namespace wlgen::bench {
+
+namespace {
+
+/// Pooled response per byte over the records issued in [begin_us, end_us).
+double pooled_level(const std::vector<core::OpRecord>& records, double begin_us,
+                    double end_us) {
+  double response = 0.0, bytes = 0.0;
+  for (const auto& record : records) {
+    if (record.issue_time_us < begin_us || record.issue_time_us >= end_us) continue;
+    response += record.response_us;
+    bytes += static_cast<double>(record.actual_bytes);
+  }
+  return bytes > 0.0 ? response / bytes : 0.0;
+}
+
+}  // namespace
+
+exp::Experiment make_slowdown_recovery() {
+  using exp::Verdict;
+  exp::Experiment experiment;
+  experiment.id = "slowdown_recovery";
+  experiment.title = "response degradation and recovery around a server slowdown window";
+  experiment.paper_claim =
+      "fault-injection check: response degrades while the server runs slow, "
+      "then drains back to baseline with a bounded recovery lag";
+  experiment.expectations = {
+      exp::expect_scalar_in_range("degradation_ratio", 2.0, 40.0, Verdict::fail,
+                                  "a 6x service slowdown must push the in-window level well "
+                                  "above baseline"),
+      exp::expect_scalar_in_range("recovery_ratio", 0.5, 1.6, Verdict::fail,
+                                  "the final quarter of the run must sit back at the "
+                                  "pre-fault baseline — the fault may not leave a permanent "
+                                  "level shift"),
+      exp::expect_scalar_in_range("recovery_frac", 0.0, 0.45, Verdict::fail,
+                                  "hysteresis band: the backlog takes time to drain but must "
+                                  "clear well before the run ends"),
+      exp::expect_scalar_in_range("hysteresis_ratio", 1.0, 40.0, Verdict::warn,
+                                  "right after the window lifts the drain keeps the level at "
+                                  "or above baseline — recovery is not instantaneous"),
+  };
+
+  experiment.run = [](const exp::RunContext& ctx) {
+    const double rate_per_sec = 0.8;  // just below the offered_load knee
+    const std::size_t arrivals = ctx.sessions(96);
+    const double horizon_us = static_cast<double>(arrivals) / rate_per_sec * 1e6;
+
+    exp::WorkloadConfig config;
+    config.num_users = 4;
+    config.seed = ctx.seed + 53;
+    core::Population population;
+    population.groups.push_back({core::extremely_heavy_user(), 1.0});
+    population.validate_and_normalize();
+    config.population = std::move(population);
+
+    traffic::ArrivalConfig arrival_config;
+    arrival_config.kind = traffic::ArrivalKind::poisson;
+    arrival_config.rate_per_sec = rate_per_sec;
+    arrival_config.sessions = arrivals;
+    config.traffic.arrivals = arrival_config;
+
+    const double window_begin_us = 0.35 * horizon_us;
+    const double window_end_us = 0.55 * horizon_us;
+    config.traffic.faults.slowdowns.push_back({window_begin_us, window_end_us, 6.0});
+
+    const exp::WorkloadOutput out = exp::run_workload(config);
+    const auto& records = out.log.records();
+
+    // Baseline skips the first 10% (cold caches) and stops at the window.
+    const double baseline = pooled_level(records, 0.10 * horizon_us, window_begin_us);
+    const double during = pooled_level(records, window_begin_us, window_end_us);
+
+    // Recovery: walk post-window buckets until the level is back within
+    // 1.25x baseline; report the lag as a fraction of the horizon so the
+    // scalar is comparable across --scale profiles.
+    const double end_us = std::max(out.simulated_us, horizon_us);
+    const double bucket_us = horizon_us / 24.0;
+    double recovered_at_us = end_us;
+    for (double t = window_end_us; t < end_us; t += bucket_us) {
+      const double level = pooled_level(records, t, t + bucket_us);
+      if (level > 0.0 && level <= baseline * 1.25) {
+        recovered_at_us = t;
+        break;
+      }
+    }
+    const double recovery_frac =
+        horizon_us > 0.0 ? (recovered_at_us - window_end_us) / horizon_us : 0.0;
+    const double after = pooled_level(records, window_end_us, window_end_us + 2.0 * bucket_us);
+    const double tail = pooled_level(records, 0.75 * end_us, end_us + 1.0);
+
+    exp::ExperimentResult result;
+    result.x_label = "time (fraction of arrival horizon)";
+    result.y_label = "response time per byte (us)";
+    std::vector<double> xs, ys;
+    for (double t = 0.0; t < end_us; t += bucket_us) {
+      xs.push_back((t + 0.5 * bucket_us) / horizon_us);
+      ys.push_back(pooled_level(records, t, t + bucket_us));
+    }
+    result.add_series("response_over_time", xs, ys);
+    result.set_scalar("degradation_ratio", baseline > 0.0 ? during / baseline : 0.0);
+    result.set_scalar("recovery_ratio", baseline > 0.0 ? tail / baseline : 0.0);
+    result.set_scalar("recovery_frac", recovery_frac);
+    result.set_scalar("hysteresis_ratio", baseline > 0.0 ? after / baseline : 0.0);
+    result.notes.push_back(
+        "A 6x slowdown window over [0.35, 0.55] of the arrival horizon under "
+        "constant Poisson arrival pressure.  The in-window level multiplies, "
+        "and the post-window drain decays back to baseline: degradation is "
+        "sharp, recovery is gradual (hysteresis).");
+    return result;
+  };
+  return experiment;
+}
+
+}  // namespace wlgen::bench

@@ -85,6 +85,11 @@ struct UserSimulator::UserState {
   std::uint32_t next_session_ordinal = 0;
   std::uint64_t new_file_counter = 0;
 
+  /// Open-system mode: this user's session arrival times (owned by
+  /// UsimConfig::arrival_times_us) and the next unconsumed index.
+  const std::vector<double>* arrivals = nullptr;
+  std::size_t next_arrival = 0;
+
   DrawBuffer think_time;
   DrawBuffer access_size;
   DrawBuffer session_gap;
@@ -154,6 +159,16 @@ UserSimulator::UserSimulator(sim::Simulation& sim, fs::SimulatedFileSystem& fsys
   if (!config_.think_modulator) {
     config_.think_modulator = std::make_shared<const ConstantModulator>();
   }
+  if (config_.arrival_times_us) {
+    if (config_.windows_per_user != 1) {
+      throw std::invalid_argument(
+          "UserSimulator: open-loop arrivals require windows_per_user == 1");
+    }
+    if (config_.arrival_times_us->size() < config_.first_user + config_.num_users) {
+      throw std::invalid_argument(
+          "UserSimulator: arrival_times_us must cover the configured user range");
+    }
+  }
 
   for (std::size_t u = 0; u < config_.num_users; ++u) {
     const std::size_t global = config_.first_user + u;
@@ -162,6 +177,7 @@ UserSimulator::UserSimulator(sim::Simulation& sim, fs::SimulatedFileSystem& fsys
     user->bind_buffers(config_);
     user->slots.resize(config_.windows_per_user);
     for (std::size_t s = 0; s < config_.windows_per_user; ++s) user->slots[s].slot_index = s;
+    if (config_.arrival_times_us) user->arrivals = &(*config_.arrival_times_us)[global];
     users_.push_back(std::move(user));
   }
 }
@@ -279,9 +295,31 @@ void UserSimulator::finish_session(UserState& user, SessionSlot& slot) {
   ++sessions_completed_;
   ++slot.sessions_done;
   slot.items.clear();
-  if (slot.sessions_done >= config_.sessions_per_user) return;  // this slot is finished
+  // Closed loop: a fixed per-slot session budget.  Open loop: the user's
+  // arrival list is the budget (schedule_session_start stops at its end).
+  if (user.arrivals == nullptr && slot.sessions_done >= config_.sessions_per_user) return;
+  schedule_session_start(user, slot);
+}
+
+void UserSimulator::schedule_session_start(UserState& user, SessionSlot& slot) {
+  if (user.arrivals != nullptr) {
+    // Open-system mode: sessions start at their queued arrival time, or
+    // immediately when the arrival is already in the past (per-user FIFO —
+    // a user's sessions never overlap).
+    if (user.next_arrival >= user.arrivals->size()) return;
+    double start = std::max((*user.arrivals)[user.next_arrival++], sim_.now());
+    start = traffic::churn_adjusted(config_.churn, config_.seed, user.index, start);
+    sim_.schedule_at(start, [this, &user, &slot]() { start_session(user, slot); });
+    return;
+  }
   const double gap = std::max(0.0, user.session_gap.next(user.rng));
-  sim_.schedule(gap, [this, &user, &slot]() { start_session(user, slot); });
+  if (config_.churn.empty()) {
+    sim_.schedule(gap, [this, &user, &slot]() { start_session(user, slot); });
+    return;
+  }
+  const double start =
+      traffic::churn_adjusted(config_.churn, config_.seed, user.index, sim_.now() + gap);
+  sim_.schedule_at(start, [this, &user, &slot]() { start_session(user, slot); });
 }
 
 void UserSimulator::issue(UserState& user, SessionSlot& slot, WorkItem& item,
@@ -505,11 +543,9 @@ void UserSimulator::run() {
   ran_ = true;
   for (auto& user : users_) {
     for (auto& slot : user->slots) {
-      // Stagger logins by a sampled gap so users do not lockstep.
-      const double gap = std::max(0.0, user->session_gap.next(user->rng));
-      UserState* u = user.get();
-      SessionSlot* s = &slot;
-      sim_.schedule(gap, [this, u, s]() { start_session(*u, *s); });
+      // Closed loop staggers logins by a sampled gap so users do not
+      // lockstep; open loop starts at the user's first queued arrival.
+      schedule_session_start(*user, slot);
     }
   }
   sim_.run();

@@ -13,6 +13,7 @@
 #include "fs/filesystem.h"
 #include "fsmodel/model.h"
 #include "sim/simulation.h"
+#include "traffic/faults.h"
 
 namespace wlgen::core {
 
@@ -109,6 +110,22 @@ struct UsimConfig {
   /// collect_log — the hook mergeable-statistics accumulators use so big
   /// sweeps can run log-free without losing their aggregates.
   std::function<void(const OpRecord&)> on_record;
+
+  /// Open-system session arrivals (src/traffic/arrivals.h): element g holds
+  /// GLOBAL user g's session start times in µs, ascending.  When set, the
+  /// closed-loop schedule (initial stagger + inter-session gap) is replaced:
+  /// user g's session k starts at max(arrival k, previous session end) —
+  /// arrivals queue per user, sessions never overlap — and the user runs
+  /// exactly arrival_times_us[g].size() sessions (sessions_per_user is
+  /// ignored).  Requires windows_per_user == 1.  Indexing by global user
+  /// keeps a sharded range run identical to the full run.
+  std::shared_ptr<const std::vector<std::vector<double>>> arrival_times_us;
+
+  /// User-population churn windows (src/traffic/faults.h): a deterministic
+  /// per-window fraction of users (hash of seed/user/window, no RNG draws)
+  /// has session starts inside the window postponed to its end.  Empty =
+  /// the exact pre-traffic code path.
+  std::vector<traffic::ChurnWindow> churn;
 };
 
 /// The paper's User Simulator (USIM): "simulates workload on a terminal or
@@ -169,6 +186,7 @@ class UserSimulator {
   struct UserState;
 
   void start_session(UserState& user, SessionSlot& slot);
+  void schedule_session_start(UserState& user, SessionSlot& slot);
   void schedule_next_op(UserState& user, SessionSlot& slot);
   void issue_next_op(UserState& user, SessionSlot& slot);
   void finish_session(UserState& user, SessionSlot& slot);

@@ -34,6 +34,10 @@ WorkloadOutput run_workload(const WorkloadConfig& config) {
   fsys.set_clock([&simulation] { return simulation.now(); });
   auto model = make_model(config.model, simulation);
   if (config.tune_model) config.tune_model(*model);
+  config.traffic.validate();
+  if (config.traffic.faults.any()) {
+    traffic::install_faults(simulation, *model, config.traffic.faults);
+  }
 
   core::FscConfig fsc_config;
   fsc_config.num_users = config.num_users;
@@ -45,6 +49,11 @@ WorkloadOutput run_workload(const WorkloadConfig& config) {
   usim_config.num_users = config.num_users;
   usim_config.sessions_per_user = config.sessions_per_user;
   usim_config.seed = config.seed;
+  if (config.traffic.arrivals) {
+    usim_config.arrival_times_us = std::make_shared<const std::vector<std::vector<double>>>(
+        traffic::assign_arrivals(*config.traffic.arrivals, config.num_users, config.seed));
+  }
+  usim_config.churn = config.traffic.faults.churns;
 
   core::Population population = config.population;
   if (population.groups.empty()) population = core::default_population();

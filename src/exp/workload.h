@@ -12,6 +12,7 @@
 #include "core/usim.h"
 #include "fsmodel/model.h"
 #include "stats/summary.h"
+#include "traffic/traffic.h"
 
 namespace wlgen::exp {
 
@@ -30,6 +31,12 @@ struct WorkloadConfig {
   core::Population population;
   core::UsimConfig usim;  ///< num_users/sessions/seed are overwritten from above
   std::function<void(fsmodel::FileSystemModel&)> tune_model;  ///< optional
+
+  /// Open-system traffic (src/traffic/): when `traffic.arrivals` is set the
+  /// run is open-loop (session starts follow the arrival process instead of
+  /// think-time gaps) and `traffic.faults` perturbations are installed on
+  /// the DES timeline.  Inert by default.
+  traffic::TrafficConfig traffic;
 };
 
 /// Everything an experiment needs to build its figure/table series.

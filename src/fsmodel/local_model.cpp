@@ -32,7 +32,7 @@ void LocalDiskModel::schedule_async_flush(std::uint64_t bytes) {
   sim::execute_chain(sim_, std::move(flush), [](sim::SimTime) {});
 }
 
-sim::StageChain LocalDiskModel::plan(const FsOp& op) {
+sim::StageChain LocalDiskModel::plan_op(const FsOp& op) {
   DiskModel disk(params_.disk);
   sim::StageChain chain;
   switch (op.type) {
@@ -133,6 +133,13 @@ void LocalDiskModel::reset_stats() {
   inode_cache_.reset_stats();
   disk_.reset_stats();
   async_flushes_ = 0;
+}
+
+void LocalDiskModel::flush_caches() {
+  buffer_cache_.clear();
+  inode_cache_.clear();
+  dirty_bytes_.clear();
+  last_end_.clear();
 }
 
 }  // namespace wlgen::fsmodel

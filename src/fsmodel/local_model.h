@@ -31,15 +31,18 @@ class LocalDiskModel final : public FileSystemModel {
  public:
   LocalDiskModel(sim::Simulation& sim, LocalParams params = {});
 
-  sim::StageChain plan(const FsOp& op) override;
   std::string name() const override { return "local"; }
   std::string stats_summary() const override;
   void reset_stats() override;
+  void flush_caches() override;
 
   const LruCache& buffer_cache() const { return buffer_cache_; }
   sim::Resource& disk_resource() { return disk_; }
   sim::Resource& cpu_resource() { return cpu_; }
   const LocalParams& params() const { return params_; }
+
+ protected:
+  sim::StageChain plan_op(const FsOp& op) override;
 
  private:
   std::uint64_t block_key(std::uint64_t file_id, std::uint64_t block_index) const;

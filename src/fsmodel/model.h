@@ -61,7 +61,27 @@ class FileSystemModel {
   virtual ~FileSystemModel() = default;
 
   /// Compiles one system call into a stage chain and updates model state.
-  virtual sim::StageChain plan(const FsOp& op) = 0;
+  /// Applies the current service scale (fault-injection slowdown windows,
+  /// src/traffic/faults.h) to every stage; at the default scale of 1 the
+  /// chain is returned untouched, so fault-free runs stay bit-identical
+  /// with pre-traffic builds.
+  sim::StageChain plan(const FsOp& op) {
+    sim::StageChain chain = plan_op(op);
+    if (service_scale_ != 1.0) {
+      for (sim::Stage& stage : chain) stage.duration *= service_scale_;
+    }
+    return chain;
+  }
+
+  /// Multiplier applied to every planned stage duration (1 = nominal).
+  /// Fault slowdown windows toggle this from the DES timeline.
+  void set_service_scale(double scale) { service_scale_ = scale; }
+  double service_scale() const { return service_scale_; }
+
+  /// Drops all cached state (client/server block, attribute and whole-file
+  /// caches, dirty accounting, sequentiality tracking) — the cache-flush
+  /// fault.  Statistics counters are kept.
+  virtual void flush_caches() = 0;
 
   /// Model name for reports ("nfs", "local", "wholefile").
   virtual std::string name() const = 0;
@@ -71,6 +91,14 @@ class FileSystemModel {
 
   /// Resets statistical counters (cache contents are kept).
   virtual void reset_stats() = 0;
+
+ protected:
+  /// Compiles one system call at nominal service times; the public plan()
+  /// wrapper applies the slowdown scale.
+  virtual sim::StageChain plan_op(const FsOp& op) = 0;
+
+ private:
+  double service_scale_ = 1.0;
 };
 
 }  // namespace wlgen::fsmodel

@@ -217,7 +217,7 @@ sim::StageChain NfsModel::plan_metadata(const FsOp& op, bool mutates) {
   return chain;
 }
 
-sim::StageChain NfsModel::plan(const FsOp& op) {
+sim::StageChain NfsModel::plan_op(const FsOp& op) {
   switch (op.type) {
     case FsOpType::read:
       return plan_read(op);
@@ -292,6 +292,17 @@ void NfsModel::reset_stats() {
   rpcs_ = 0;
   async_flushes_ = 0;
   readaheads_ = 0;
+}
+
+void NfsModel::flush_caches() {
+  for (auto& c : clients_) {
+    c->cache.clear();
+    c->attr.clear();
+    c->dirty_bytes.clear();
+    c->last_end.clear();
+  }
+  server_cache_.clear();
+  server_attr_.clear();
 }
 
 }  // namespace wlgen::fsmodel

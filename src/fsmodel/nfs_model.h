@@ -68,10 +68,10 @@ class NfsModel final : public FileSystemModel {
  public:
   NfsModel(sim::Simulation& sim, NfsParams params = {});
 
-  sim::StageChain plan(const FsOp& op) override;
   std::string name() const override { return "nfs"; }
   std::string stats_summary() const override;
   void reset_stats() override;
+  void flush_caches() override;
 
   const NfsParams& params() const { return params_; }
   std::size_t num_clients() const { return clients_.size(); }
@@ -88,6 +88,9 @@ class NfsModel final : public FileSystemModel {
   net::Network& network() { return network_; }
   std::uint64_t rpc_count() const { return rpcs_; }
   std::uint64_t readahead_count() const { return readaheads_; }
+
+ protected:
+  sim::StageChain plan_op(const FsOp& op) override;
 
  private:
   /// Per-workstation state: its CPU and its caches.

@@ -29,7 +29,7 @@ void WholeFileCacheModel::append_transfer(sim::StageChain& chain, std::uint64_t 
   }
 }
 
-sim::StageChain WholeFileCacheModel::plan(const FsOp& op) {
+sim::StageChain WholeFileCacheModel::plan_op(const FsOp& op) {
   sim::StageChain chain;
   switch (op.type) {
     case FsOpType::open: {
@@ -136,6 +136,12 @@ void WholeFileCacheModel::reset_stats() {
   network_.medium().reset_stats();
   fetches_ = 0;
   stores_ = 0;
+}
+
+void WholeFileCacheModel::flush_caches() {
+  file_cache_.clear();
+  dirty_files_.clear();
+  cached_size_.clear();
 }
 
 }  // namespace wlgen::fsmodel

@@ -38,15 +38,18 @@ class WholeFileCacheModel final : public FileSystemModel {
  public:
   WholeFileCacheModel(sim::Simulation& sim, WholeFileParams params = {});
 
-  sim::StageChain plan(const FsOp& op) override;
   std::string name() const override { return "wholefile"; }
   std::string stats_summary() const override;
   void reset_stats() override;
+  void flush_caches() override;
 
   const LruCache& file_cache() const { return file_cache_; }
   const WholeFileParams& params() const { return params_; }
   std::uint64_t fetches() const { return fetches_; }
   std::uint64_t stores() const { return stores_; }
+
+ protected:
+  sim::StageChain plan_op(const FsOp& op) override;
 
  private:
   void append_transfer(sim::StageChain& chain, std::uint64_t bytes, bool to_client);

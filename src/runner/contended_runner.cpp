@@ -48,6 +48,11 @@ ContendedRunner::ContendedRunner(ContendedConfig config) : config_(std::move(con
   if (config_.profiles.empty()) config_.profiles = core::di86_file_profiles();
   if (config_.population.groups.empty()) config_.population = core::default_population();
   if (!config_.model_factory) config_.model_factory = nfs_model_factory();
+  config_.traffic.validate();
+  if (config_.traffic.arrivals && config_.usim.windows_per_user != 1) {
+    throw std::invalid_argument(
+        "ContendedRunner: open-loop arrivals require windows_per_user == 1");
+  }
 }
 
 void ContendedRunner::run_replication(sim::Simulation& sim, std::size_t users,
@@ -59,6 +64,11 @@ void ContendedRunner::run_replication(sim::Simulation& sim, std::size_t users,
   fsys.set_clock([&sim] { return sim.now(); });
   auto model = config_.model_factory(sim);
   if (config_.tune_model) config_.tune_model(*model);
+  // Fault events land on the replication's shared model — the server-side
+  // disturbance every user of the point experiences together.
+  if (config_.traffic.faults.any()) {
+    traffic::install_faults(sim, *model, config_.traffic.faults);
+  }
 
   core::FscConfig fsc_config = config_.fsc;
   fsc_config.num_users = users;
@@ -73,6 +83,14 @@ void ContendedRunner::run_replication(sim::Simulation& sim, std::size_t users,
   usim_config.population_users = users;
   usim_config.seed = seed;
   usim_config.collect_log = false;  // aggregates only; replications do not share a log
+  // Open-loop arrivals: each replication deals its own timeline from its
+  // replication seed — a pure function of (config, users, seed), so results
+  // stay thread-invariant and replications stay independent.
+  if (config_.traffic.arrivals) {
+    usim_config.arrival_times_us = std::make_shared<const std::vector<std::vector<double>>>(
+        traffic::assign_arrivals(*config_.traffic.arrivals, users, seed));
+  }
+  usim_config.churn = config_.traffic.faults.churns;
   // Same single-observation-point pattern as ShardedRunner::run_user: obs
   // off means the historical record hook, bit for bit.
   if (sample == nullptr) {
@@ -191,6 +209,19 @@ ContendedResult ContendedRunner::run() {
     obs::SimSample merged;
     for (std::size_t j = 0; j < jobs; ++j) merged.merge(samples[j]);
     merged.export_into(result.registry);
+    if (config_.traffic.any()) {
+      // Pure functions of the config — thread invariant, so stable.
+      if (config_.traffic.arrivals) {
+        result.registry.add_counter("traffic.arrivals",
+                                    config_.traffic.arrivals->sessions * jobs);
+      }
+      result.registry.add_counter("traffic.slowdown_windows",
+                                  config_.traffic.faults.slowdowns.size());
+      result.registry.add_counter("traffic.flush_events",
+                                  config_.traffic.faults.flush_times_us.size());
+      result.registry.add_counter("traffic.churn_windows",
+                                  config_.traffic.faults.churns.size());
+    }
     if (pool_ptr != nullptr) obs::export_pool(pool_obs, result.registry);
   }
   if (trace_on) {

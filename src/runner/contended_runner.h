@@ -13,6 +13,7 @@
 #include "runner/stats.h"
 #include "sim/simulation.h"
 #include "stats/summary.h"
+#include "traffic/traffic.h"
 
 namespace wlgen::runner {
 
@@ -84,6 +85,13 @@ struct ContendedConfig {
   /// Observability switches (all off by default — the default run takes
   /// exactly the uninstrumented hot path).
   obs::ObsConfig obs;
+
+  /// Open-system traffic (src/traffic/): optional open-loop arrivals plus a
+  /// fault plan.  Each replication generates its own arrival timeline from
+  /// its replication_seed() (independent replications stay independent) and
+  /// installs the fault events on its shared model — pure functions of
+  /// (config, point, replication), so thread invariance is unchanged.
+  traffic::TrafficConfig traffic;
 };
 
 /// Per-replication execution accounting (reporting only — results never

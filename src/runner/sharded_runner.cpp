@@ -68,6 +68,11 @@ ShardedRunner::ShardedRunner(RunnerConfig config) : config_(std::move(config)) {
   if (config_.profiles.empty()) config_.profiles = core::di86_file_profiles();
   if (config_.population.groups.empty()) config_.population = core::default_population();
   if (!config_.model_factory) config_.model_factory = nfs_model_factory();
+  config_.traffic.validate();
+  if (config_.traffic.arrivals && config_.usim.windows_per_user != 1) {
+    throw std::invalid_argument(
+        "ShardedRunner: open-loop arrivals require windows_per_user == 1");
+  }
 }
 
 std::string ShardedRunner::fingerprint() const {
@@ -80,6 +85,12 @@ std::string ShardedRunner::fingerprint() const {
   std::string fp = buffer;
   fp += " tag=";
   fp += config_.spill.config_tag;
+  // Traffic identity: any arrival/fault change must invalidate checkpoints.
+  // Appended only when configured so pre-traffic checkpoints stay valid.
+  if (config_.traffic.any()) {
+    fp += " traffic=";
+    fp += config_.traffic.tag();
+  }
   return fp;
 }
 
@@ -91,6 +102,12 @@ void ShardedRunner::run_user(sim::Simulation& sim, std::size_t user, UserOutcome
   fs::SimulatedFileSystem fsys;
   fsys.set_clock([&sim] { return sim.now(); });
   auto model = config_.model_factory(sim);
+  // Every user universe gets the same fault timeline — slowdown windows and
+  // cache flushes are server-side events that exist in each universe's copy
+  // of the environment, keeping the per-user purity the merge relies on.
+  if (config_.traffic.faults.any()) {
+    traffic::install_faults(sim, *model, config_.traffic.faults);
+  }
 
   core::FscConfig fsc_config = config_.fsc;
   fsc_config.num_users = 1;
@@ -106,6 +123,8 @@ void ShardedRunner::run_user(sim::Simulation& sim, std::size_t user, UserOutcome
   usim_config.seed = config_.seed;
   usim_config.collect_log = config_.collect_log;
   usim_config.sink = sink;  // non-null => records stream to the shard's runs
+  usim_config.arrival_times_us = arrivals_;
+  usim_config.churn = config_.traffic.faults.churns;
   // The record hook is the single observation point: when obs is off the
   // lambda is the minimal stats+sketch one, so the hot path stays lean.
   if (sample == nullptr) {
@@ -154,6 +173,14 @@ RunnerResult ShardedRunner::run() {
   const std::size_t num_users = config_.num_users;
   const std::vector<UserRange> ranges = partition_users(num_users, config_.shards);
   const bool spill = config_.spill.enabled;
+
+  // Open-loop arrivals: one global timeline from the root seed, dealt to
+  // users before the pool starts — a pure function of the config, never of
+  // the shard cut or scheduling.
+  if (config_.traffic.arrivals) {
+    arrivals_ = std::make_shared<const std::vector<std::vector<double>>>(
+        traffic::assign_arrivals(*config_.traffic.arrivals, num_users, config_.seed));
+  }
 
   std::vector<UserOutcome> outcomes(num_users, UserOutcome(config_.histogram));
   std::vector<ShardReport> reports(ranges.size());
@@ -374,6 +401,20 @@ RunnerResult ShardedRunner::run() {
                                   /*stable=*/false);
       result.registry.add_counter("checkpoint.resumed", result.shards_resumed,
                                   /*stable=*/false);
+    }
+    if (config_.traffic.any()) {
+      // Pure functions of the config — shard/thread invariant, so stable.
+      std::uint64_t total_arrivals = 0;
+      if (arrivals_) {
+        for (const auto& user_arrivals : *arrivals_) total_arrivals += user_arrivals.size();
+      }
+      result.registry.add_counter("traffic.arrivals", total_arrivals);
+      result.registry.add_counter("traffic.slowdown_windows",
+                                  config_.traffic.faults.slowdowns.size());
+      result.registry.add_counter("traffic.flush_events",
+                                  config_.traffic.faults.flush_times_us.size());
+      result.registry.add_counter("traffic.churn_windows",
+                                  config_.traffic.faults.churns.size());
     }
   }
   if (pool_ptr != nullptr && collect) obs::export_pool(pool_obs, result.registry);

@@ -18,6 +18,7 @@
 #include "runner/stats.h"
 #include "sim/simulation.h"
 #include "stats/sketch.h"
+#include "traffic/traffic.h"
 
 namespace wlgen::runner {
 
@@ -101,6 +102,14 @@ struct RunnerConfig {
 
   /// Model per user (null = nfs_model_factory()).
   ModelFactory model_factory;
+
+  /// Open-system traffic: optional open-loop arrivals plus a fault plan
+  /// (src/traffic/).  The arrival timeline is generated once per run from
+  /// `seed` and dealt to users by global index, and faults are installed
+  /// identically in every user universe — both pure functions of the
+  /// config, so the shard/thread invariance contract is unchanged.  A
+  /// default (inert) TrafficConfig leaves every code path byte-identical.
+  traffic::TrafficConfig traffic;
 
   /// Observability switches (all off by default — the default run takes
   /// exactly the uninstrumented hot path).
@@ -210,6 +219,11 @@ class ShardedRunner {
   std::string fingerprint() const;
 
   RunnerConfig config_;
+
+  /// Per-global-user session arrival lists (set once in run() before the
+  /// worker pool starts; workers only read it).  Null in closed-loop runs.
+  std::shared_ptr<const std::vector<std::vector<double>>> arrivals_;
+
   bool ran_ = false;
 };
 

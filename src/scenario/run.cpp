@@ -99,6 +99,9 @@ std::string spill_config_tag(const ScenarioSpec& spec, const ModelChoice& model)
       << " pattern=" << static_cast<int>(spec.pattern) << " markov=" << exact(spec.markov)
       << " think=" << spec.think_time << " access=" << spec.access_size
       << " gds=" << spec.gds_file;
+  // Traffic identity (arrivals + faults): appended only when configured so
+  // pre-traffic checkpoints keep validating.
+  if (spec.traffic.any()) tag << " " << spec.traffic.tag();
   return tag.str();
 }
 
@@ -114,6 +117,7 @@ ModelOutcome run_sharded(const ScenarioSpec& spec, const ModelChoice& model,
   config.collect_log = spec.collect_log;
   config.model_factory = model.factory();
   config.obs = obs;
+  config.traffic = spec.traffic;
   if (spec.log_spill) {
     config.spill.enabled = true;
     // Multi-model scenarios get one spool subdirectory per backend so their
@@ -158,6 +162,7 @@ ModelOutcome run_contended(const ScenarioSpec& spec, const ModelChoice& model,
   config.population = spec.population();
   config.model_factory = model.factory();
   config.obs = obs;
+  config.traffic = spec.traffic;
 
   runner::ContendedRunner run(std::move(config));
   runner::ContendedResult result = run.run();

@@ -114,6 +114,108 @@ std::vector<ModelChoice> parse_models(const util::Config& config) {
   return models;
 }
 
+/// Parses a "A:B[:C]" colon tuple of doubles from one comma-list element;
+/// fails on the owning key with the element echoed.
+std::vector<double> parse_tuple(const util::Config& config, const std::string& key,
+                                const std::string& element, std::size_t arity) {
+  const std::vector<std::string> parts = util::split(element, ':');
+  if (parts.size() != arity) {
+    fail(config, key, "expects " + std::to_string(arity) +
+                          " colon-separated numbers per entry, got '" + element + "'");
+  }
+  std::vector<double> values;
+  for (const auto& part : parts) {
+    const auto v = util::parse_double(util::trim(part));
+    if (!v) fail(config, key, "has a non-numeric component in '" + element + "'");
+    values.push_back(*v);
+  }
+  return values;
+}
+
+/// [arrivals] + [faults] — the open-system traffic engine (src/traffic/).
+/// Scenario times are seconds; TrafficConfig carries µs.
+traffic::TrafficConfig parse_traffic(const util::Config& config,
+                                     std::size_t default_sessions) {
+  traffic::TrafficConfig traffic;
+
+  const bool arrivals_on = !config.keys_with_prefix("arrivals.").empty();
+  if (arrivals_on) {
+    traffic::ArrivalConfig arrivals;
+    const std::string process = config.get_string("arrivals.process", "poisson");
+    if (process == "poisson") {
+      arrivals.kind = traffic::ArrivalKind::poisson;
+    } else if (process == "mmpp") {
+      arrivals.kind = traffic::ArrivalKind::mmpp;
+    } else if (process == "heavy") {
+      arrivals.kind = traffic::ArrivalKind::heavy;
+    } else {
+      fail(config, "arrivals.process",
+           "expects poisson | mmpp | heavy, got '" + process + "'");
+    }
+    arrivals.rate_per_sec = config.get_double("arrivals.rate", 1.0);
+    if (arrivals.rate_per_sec <= 0.0) {
+      fail(config, "arrivals.rate", "expects a positive session arrival rate per second");
+    }
+    arrivals.sessions = config.get_size("arrivals.sessions", default_sessions);
+    if (arrivals.sessions == 0) fail(config, "arrivals.sessions", "expects at least 1 session");
+
+    for (const auto& element : config.get_list("arrivals.diurnal")) {
+      const std::vector<double> knot = parse_tuple(config, "arrivals.diurnal", element, 2);
+      arrivals.profile.points.push_back({knot[0] * 1e6, knot[1]});
+    }
+    arrivals.profile.flash_at_us = config.get_double("arrivals.flash_at", 0.0) * 1e6;
+    arrivals.profile.flash_duration_us =
+        config.get_double("arrivals.flash_duration", 0.0) * 1e6;
+    arrivals.profile.flash_magnitude = config.get_double("arrivals.flash_magnitude", 1.0);
+    if ((config.has("arrivals.flash_at") || config.has("arrivals.flash_magnitude")) &&
+        !config.has("arrivals.flash_duration")) {
+      fail(config, "arrivals.flash_at",
+           "needs arrivals.flash_duration (seconds) to bound the flash crowd");
+    }
+
+    arrivals.burst_ratio = config.get_double("arrivals.burst_ratio", 8.0);
+    arrivals.mean_burst_us = config.get_double("arrivals.mean_burst", 2.0) * 1e6;
+    arrivals.mean_idle_us = config.get_double("arrivals.mean_idle", 8.0) * 1e6;
+    arrivals.pareto_alpha = config.get_double("arrivals.pareto_alpha", 1.5);
+    traffic.arrivals = std::move(arrivals);
+  }
+
+  // Each fault group validates right after parsing so the error names the
+  // key (and line) that introduced it — the scenario fail() contract.
+  auto check = [&config](const char* key, const traffic::FaultPlan& plan) {
+    try {
+      plan.validate();
+    } catch (const std::invalid_argument& e) {
+      fail(config, key, std::string("is invalid: ") + e.what());
+    }
+  };
+  for (const auto& element : config.get_list("faults.slowdown")) {
+    const std::vector<double> w = parse_tuple(config, "faults.slowdown", element, 3);
+    traffic.faults.slowdowns.push_back({w[0] * 1e6, w[1] * 1e6, w[2]});
+  }
+  check("faults.slowdown", {traffic.faults.slowdowns, {}, {}});
+  for (const auto& element : config.get_list("faults.flush")) {
+    const auto t = util::parse_double(util::trim(element));
+    if (!t) fail(config, "faults.flush", "has a non-numeric flush time '" + element + "'");
+    traffic.faults.flush_times_us.push_back(*t * 1e6);
+  }
+  check("faults.flush", {{}, traffic.faults.flush_times_us, {}});
+  for (const auto& element : config.get_list("faults.churn")) {
+    const std::vector<double> w = parse_tuple(config, "faults.churn", element, 3);
+    traffic.faults.churns.push_back({w[0] * 1e6, w[1] * 1e6, w[2]});
+  }
+  check("faults.churn", {{}, {}, traffic.faults.churns});
+
+  if (traffic.arrivals) {
+    try {
+      traffic.arrivals->validate();
+    } catch (const std::invalid_argument& e) {
+      fail(config, "arrivals.rate", std::string("is invalid: ") + e.what());
+    }
+  }
+  return traffic;
+}
+
 }  // namespace
 
 const char* to_string(RunMode mode) {
@@ -159,10 +261,29 @@ ScenarioSpec ScenarioSpec::parse(const util::Config& config) {
       "log.spill", "log.spool_dir", "log.checkpoint",
       "contended.replications", "contended.confidence",
       "replay.trace", "replay.closed_loop", "replay.time_scale", "replay.synthetic_users",
+      "arrivals.process", "arrivals.rate", "arrivals.sessions", "arrivals.diurnal",
+      "arrivals.flash_at", "arrivals.flash_duration", "arrivals.flash_magnitude",
+      "arrivals.burst_ratio", "arrivals.mean_burst", "arrivals.mean_idle",
+      "arrivals.pareto_alpha",
+      "faults.slowdown", "faults.flush", "faults.churn",
       "obs.metrics", "obs.trace", "obs.trace_events", "obs.progress",
       "output.log", "output.stats",
   };
   config.require_known(known, {"model."});
+
+  // Traffic keys run on both generated-workload paths but are meaningless
+  // under replay (a recorded trace fixes its own timeline), so that mode
+  // rejects them explicitly rather than via the single-mode scoping table.
+  if (spec.mode == RunMode::replay) {
+    for (const char* prefix : {"arrivals.", "faults."}) {
+      const auto keys = config.keys_with_prefix(prefix);
+      if (!keys.empty()) {
+        fail(config, keys.front(),
+             "is not meaningful under scenario.mode = replay (the trace fixes the "
+             "timeline); use a sharded or contended scenario");
+      }
+    }
+  }
 
   // [workload]
   const std::string users = config.get_string("workload.users", "1");
@@ -260,6 +381,17 @@ ScenarioSpec ScenarioSpec::parse(const util::Config& config) {
   spec.time_scale = config.get_double("replay.time_scale", 1.0);
   if (spec.time_scale <= 0.0) fail(config, "replay.time_scale", "expects a positive factor");
   spec.synthetic_users = config.get_size("replay.synthetic_users", 0);
+
+  // [arrivals] + [faults].  Default total session count preserves the
+  // closed-loop volume: workload.sessions x the (largest) user point.
+  spec.traffic = parse_traffic(
+      config,
+      spec.sessions * *std::max_element(spec.user_points.begin(), spec.user_points.end()));
+  if (spec.traffic.arrivals && spec.windows != 1) {
+    fail(config, "workload.windows",
+         "conflicts with [arrivals] (open-loop sessions queue per user; "
+         "windows_per_user must stay 1)");
+  }
 
   // [obs]
   spec.obs_metrics = config.get_string("obs.metrics", "");
@@ -359,6 +491,18 @@ std::string ScenarioSpec::summary() const {
                                    << " user(s)";
       out << "\n";
       break;
+  }
+  if (traffic.arrivals) {
+    out << "  arrivals: " << traffic::to_string(traffic.arrivals->kind) << " rate "
+        << traffic.arrivals->rate_per_sec << "/s, " << traffic.arrivals->sessions
+        << " session(s)";
+    if (!traffic.arrivals->profile.constant()) out << ", time-varying";
+    out << "\n";
+  }
+  if (traffic.faults.any()) {
+    out << "  faults: " << traffic.faults.slowdowns.size() << " slowdown, "
+        << traffic.faults.flush_times_us.size() << " flush, "
+        << traffic.faults.churns.size() << " churn\n";
   }
   if (!obs_metrics.empty()) out << "  obs metrics: " << obs_metrics << "\n";
   if (!obs_trace.empty()) {

@@ -7,6 +7,7 @@
 #include "core/usim.h"
 #include "core/workload.h"
 #include "runner/model_factory.h"
+#include "traffic/traffic.h"
 #include "util/config.h"
 
 namespace wlgen::scenario {
@@ -82,6 +83,12 @@ struct ScenarioSpec {
   bool closed_loop = true;
   double time_scale = 1.0;
   std::size_t synthetic_users = 0;  ///< >0 adds the synthetic comparison run
+
+  // [arrivals] + [faults] — open-system traffic (docs/SCENARIOS.md).  An
+  // inert TrafficConfig (no [arrivals]/[faults] keys) leaves every run
+  // byte-identical with pre-traffic builds.  Times in the file are seconds;
+  // they are converted to µs here at parse time.
+  traffic::TrafficConfig traffic;
 
   // [obs] — observability (docs/SCENARIOS.md "Observability keys").  All
   // off by default; none of them ever changes results or digests.

@@ -15,7 +15,7 @@ namespace {
 /// results (tests/obs_test.cpp), and the CLI's wall-clock reporting is
 /// cosmetic by construction.
 constexpr const char* kSimPaths =
-    R"(^(core|sim|dist|runner|stats|fsmodel|fs|scenario|exp)/)";
+    R"(^(core|sim|dist|runner|stats|fsmodel|fs|scenario|exp|traffic)/)";
 
 }  // namespace
 

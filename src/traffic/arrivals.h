@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace wlgen::traffic {
+
+/// One knot of a piecewise-linear intensity profile: at simulated time
+/// `t_us` the base arrival rate is scaled by `multiplier`.
+struct ProfilePoint {
+  double t_us = 0.0;
+  double multiplier = 1.0;
+};
+
+/// Time-varying intensity multiplier applied to a base arrival rate —
+/// the "diurnal load" half of ROADMAP's open-system item.  Composes a
+/// piecewise-linear diurnal shape (the knots) with a multiplicative
+/// flash-crowd step (rate jumps by `flash_magnitude` for
+/// `flash_duration_us` starting at `flash_at_us`).  A default-constructed
+/// profile is the constant 1 and generation takes the unthinned fast path.
+class IntensityProfile {
+ public:
+  /// Piecewise-linear knots, strictly increasing in t; the multiplier is
+  /// held flat before the first and after the last knot.  Empty = 1.
+  std::vector<ProfilePoint> points;
+
+  double flash_at_us = 0.0;
+  double flash_duration_us = 0.0;
+  double flash_magnitude = 1.0;  ///< 1 = no flash crowd
+
+  /// True when the profile is identically 1 (no thinning needed).
+  bool constant() const;
+
+  /// Multiplier at simulated time `t_us` (>= 0).
+  double multiplier(double t_us) const;
+
+  /// Supremum of multiplier() — the Lewis-Shedler thinning bound.
+  double peak() const;
+
+  /// Exact integral of multiplier() over [t0_us, t1_us] (piecewise
+  /// analytic; used by the statistical tests to predict arrival counts).
+  double integral(double t0_us, double t1_us) const;
+
+  /// Throws std::invalid_argument on unsorted knots, negative multipliers,
+  /// an all-zero profile, or a non-positive flash magnitude.
+  void validate() const;
+
+  /// Identity string for run fingerprints ("" when constant).
+  std::string tag() const;
+};
+
+/// Which stochastic process generates session arrivals.
+enum class ArrivalKind {
+  poisson,  ///< homogeneous/inhomogeneous Poisson (exponential interarrivals)
+  mmpp,     ///< 2-state Markov-modulated Poisson (bursty)
+  heavy,    ///< heavy-tailed Pareto interarrivals (self-similar load)
+};
+
+const char* to_string(ArrivalKind kind);
+
+/// Open-loop session arrival process: `sessions` login sessions arrive at
+/// base rate `rate_per_sec`, modulated by `profile`, and are dealt to users
+/// by an independent uniform split (which preserves the Poisson property
+/// per user).  Replaces the closed-loop inter-session gap when configured.
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::poisson;
+  double rate_per_sec = 1.0;  ///< base session arrival rate (whole system)
+  std::size_t sessions = 1;   ///< total sessions to generate
+  IntensityProfile profile;
+
+  // MMPP parameters: the burst state multiplies the base rate by
+  // `burst_ratio`; state holding times are exponential with the given means.
+  double burst_ratio = 8.0;
+  double mean_burst_us = 2e6;
+  double mean_idle_us = 8e6;
+
+  // Heavy-tailed parameters: Pareto shape (> 1 so the mean interarrival
+  // exists and matches 1 / rate_per_sec).
+  double pareto_alpha = 1.5;
+
+  /// Throws std::invalid_argument on a non-positive rate, zero sessions,
+  /// bad MMPP/Pareto parameters, or an invalid profile.
+  void validate() const;
+
+  /// Identity string folded into runner fingerprints and spill tags.
+  std::string tag() const;
+};
+
+/// Pareto distribution (shape `alpha`, scale `xm`): the heavy-tailed
+/// interarrival family, implemented on the dist:: engine so the statistical
+/// tests can KS-check samples against its exact CDF.
+class ParetoDistribution final : public dist::Distribution {
+ public:
+  ParetoDistribution(double alpha, double xm);
+
+  double sample(util::RngStream& rng) const override;
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  double lower_bound() const override { return xm_; }
+  double upper_bound() const override;
+  std::string describe() const override;
+  dist::DistributionPtr clone() const override;
+
+  double alpha() const { return alpha_; }
+  double xm() const { return xm_; }
+
+ private:
+  double alpha_;
+  double xm_;
+};
+
+/// Generates the global arrival timeline (µs, ascending): a pure function
+/// of (config, seed), independent of shard/thread count.  The RNG stream is
+/// labelled "traffic/arrivals" so it never collides with user streams.
+std::vector<double> generate_arrivals(const ArrivalConfig& config, std::uint64_t seed);
+
+/// Generates and deals the timeline to `num_users` users (uniform split via
+/// the "traffic/assign" stream).  Element u holds user u's session start
+/// times, ascending — the value core::UsimConfig::arrival_times_us carries.
+std::vector<std::vector<double>> assign_arrivals(const ArrivalConfig& config,
+                                                 std::size_t num_users, std::uint64_t seed);
+
+}  // namespace wlgen::traffic

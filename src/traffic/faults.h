@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsmodel/model.h"
+#include "sim/simulation.h"
+
+namespace wlgen::traffic {
+
+/// Server slowdown: every stage the model plans inside [begin_us, end_us)
+/// has its service time scaled by `factor` (via
+/// fsmodel::FileSystemModel::set_service_scale).
+struct SlowdownWindow {
+  double begin_us = 0.0;
+  double end_us = 0.0;
+  double factor = 1.0;
+};
+
+/// User-population churn: inside [begin_us, end_us) a deterministic
+/// `fraction` of users is away; their session starts are postponed to the
+/// window end.  Membership is a pure hash of (seed, user, window index), so
+/// it is identical for every shard/thread partition.
+struct ChurnWindow {
+  double begin_us = 0.0;
+  double end_us = 0.0;
+  double fraction = 0.0;
+};
+
+/// The full perturbation schedule for one run: slowdown windows, cache-flush
+/// instants and churn windows, all on the simulated timeline.
+struct FaultPlan {
+  std::vector<SlowdownWindow> slowdowns;
+  std::vector<double> flush_times_us;
+  std::vector<ChurnWindow> churns;
+
+  bool any() const {
+    return !slowdowns.empty() || !flush_times_us.empty() || !churns.empty();
+  }
+
+  /// Throws std::invalid_argument on inverted or overlapping slowdown
+  /// windows, non-positive factors, negative flush times, or churn
+  /// fractions outside [0, 1].
+  void validate() const;
+
+  /// Identity string folded into runner fingerprints and spill tags
+  /// ("" when the plan is empty).
+  std::string tag() const;
+};
+
+/// Posts the plan's slowdown and flush events on the DES timeline against
+/// `model`.  Call after sim.reset() and before the workload runs; churn is
+/// consumed by the user simulator, not scheduled here.  Events at equal
+/// timestamps fire in scheduling order (the Simulation contract), so the
+/// posting order here is part of the determinism contract.
+void install_faults(sim::Simulation& sim, fsmodel::FileSystemModel& model,
+                    const FaultPlan& plan);
+
+/// True when `user` sits out churn window `window_index`: a pure function
+/// of the arguments (splitmix64 mix), identical across shards and threads.
+bool churned_out(std::uint64_t seed, std::size_t user, std::size_t window_index,
+                 double fraction);
+
+/// Postpones a session start at absolute time `t_us` past every churn
+/// window that covers it and excludes `user`; returns the adjusted time
+/// (>= t_us).  Draws nothing from any RNG stream.
+double churn_adjusted(const std::vector<ChurnWindow>& churns, std::uint64_t seed,
+                      std::size_t user, double t_us);
+
+}  // namespace wlgen::traffic

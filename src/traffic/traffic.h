@@ -1,0 +1,44 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "traffic/arrivals.h"
+#include "traffic/faults.h"
+
+namespace wlgen::traffic {
+
+/// Everything the open-system traffic engine adds to a run: an optional
+/// open-loop arrival process and a (possibly empty) fault plan.  Carried by
+/// runner configs and scenario specs; a default-constructed TrafficConfig
+/// is inert and leaves every closed-loop code path byte-identical.
+struct TrafficConfig {
+  std::optional<ArrivalConfig> arrivals;
+  FaultPlan faults;
+
+  bool any() const { return arrivals.has_value() || faults.any(); }
+
+  /// Throws std::invalid_argument on an invalid arrival config or fault
+  /// plan; a default config validates trivially.
+  void validate() const {
+    if (arrivals) arrivals->validate();
+    faults.validate();
+  }
+
+  /// Identity string for runner fingerprints and spill config tags ("" when
+  /// inert).  Any change to the traffic setup must change this string — it
+  /// is what makes checkpoint/resume reject a mismatched traffic config.
+  std::string tag() const {
+    if (!any()) return "";
+    std::string out;
+    if (arrivals) out += arrivals->tag();
+    const std::string faults_tag = faults.tag();
+    if (!faults_tag.empty()) {
+      if (!out.empty()) out += ' ';
+      out += faults_tag;
+    }
+    return out;
+  }
+};
+
+}  // namespace wlgen::traffic

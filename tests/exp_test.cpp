@@ -49,12 +49,14 @@ TEST(Registry, LookupFindsRegisteredExperimentsAndRejectsDuplicates) {
   EXPECT_THROW(registry.add(std::move(no_run)), std::invalid_argument);
 }
 
-TEST(Registry, AllTwentyThreePaperExperimentsRegister) {
+TEST(Registry, AllTwentyFivePaperExperimentsRegister) {
   Registry registry;
   bench::register_all_experiments(registry);
-  EXPECT_EQ(registry.size(), 23u);
+  // 23 paper artefacts + the 2 open-system traffic checks (bench/experiments.h).
+  EXPECT_EQ(registry.size(), 25u);
   for (const char* id : {"fig5_1", "fig5_6", "fig5_12", "table5_1", "table5_4",
-                         "ablation_cache", "baseline_bench", "compare_fs"}) {
+                         "ablation_cache", "baseline_bench", "compare_fs",
+                         "offered_load", "slowdown_recovery"}) {
     EXPECT_NE(registry.find(id), nullptr) << id;
   }
   EXPECT_EQ(registry.find("fig5_6")->artifact_slug(), "figure_5_6");

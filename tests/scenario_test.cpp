@@ -154,7 +154,30 @@ INSTANTIATE_TEST_SUITE_P(
         FailureCase{"[scenario]\nmode = sharded\n[log]\ncheckpoint = true\n",
                     "requires log.spill = true"},
         FailureCase{"[scenario]\nmode = sharded\n[sharded]\nresume = true\n",
-                    "requires log.checkpoint = true"}));
+                    "requires log.checkpoint = true"},
+        // Open-system traffic sections (src/traffic/, docs/SCENARIOS.md).
+        FailureCase{"[scenario]\nmode = sharded\n[arrivals]\nrate = -1\n",
+                    "positive session arrival rate"},
+        FailureCase{"[scenario]\nmode = sharded\n[arrivals]\nprocess = lava\n",
+                    "poisson | mmpp | heavy"},
+        FailureCase{"[scenario]\nmode = sharded\n[arrivals]\nflash_at = 5\n",
+                    "needs arrivals.flash_duration"},
+        FailureCase{"[scenario]\nmode = sharded\n[workload]\nwindows = 2\n"
+                    "[arrivals]\nrate = 1\n",
+                    "conflicts with [arrivals]"},
+        // Unknown fault kind: only slowdown/flush/churn exist.
+        FailureCase{"[scenario]\nmode = sharded\n[faults]\nblackout = 1:2\n",
+                    "not a recognised key"},
+        FailureCase{"[scenario]\nmode = sharded\n[faults]\nslowdown = 5:2:3\n",
+                    "inverted or empty"},
+        FailureCase{"[scenario]\nmode = sharded\n[faults]\nslowdown = 0:10:2, 5:15:2\n",
+                    "windows overlap"},
+        FailureCase{"[scenario]\nmode = sharded\n[faults]\nslowdown = 0:10\n",
+                    "expects 3 colon-separated numbers"},
+        FailureCase{"[scenario]\nmode = sharded\n[faults]\nchurn = 0:10:1.5\n",
+                    "fraction must be in [0, 1]"},
+        FailureCase{"[scenario]\nmode = replay\n[arrivals]\nrate = 1\n",
+                    "not meaningful under scenario.mode = replay"}));
 
 // --- model parameter overrides ---------------------------------------------
 
